@@ -1,0 +1,79 @@
+// Package camp is a cost-adaptive in-memory cache library for Go,
+// implementing the CAMP eviction policy from Ghandeharizadeh, Irani, Lam and
+// Yap, "CAMP: A Cost Adaptive Multi-queue Eviction Policy for Key-Value
+// Stores" (ACM/IFIP/USENIX Middleware 2014).
+//
+// CAMP approximates Greedy-Dual-Size (GDS) with LRU-queue efficiency: it
+// considers each key-value pair's size and cost in addition to recency, so a
+// cache shared by workloads with very different recomputation costs (e.g.
+// cheap database lookups next to hour-long ML aggregates) keeps the memory
+// where it earns the most. Unlike statically partitioned pools, CAMP needs
+// no human tuning and adapts as workloads shift.
+//
+// The Cache type stores values and is safe for concurrent use:
+//
+//	c, err := camp.New(64 << 20) // 64 MiB, CAMP policy, precision 5
+//	if err != nil { ... }
+//	c.Set("user:42", profileBytes, lookupMicros /* cost */)
+//	if v, ok := c.Get("user:42"); ok { ... }
+//
+// For simulation or embedding into an existing store, the metadata-only
+// Policy constructors (NewCAMPPolicy, NewLRUPolicy, NewGDSPolicy,
+// NewPooledLRUPolicy) expose the eviction algorithms directly; these are not
+// thread-safe and track only key/size/cost.
+package camp
+
+import (
+	"camp/internal/cache"
+	"camp/internal/core"
+	"camp/internal/rounding"
+)
+
+// Entry describes a cached pair's metadata (key, size, cost).
+type Entry = cache.Entry
+
+// Stats counts policy operations (hits, misses, evictions, ...).
+type Stats = cache.Stats
+
+// EvictFunc observes evictions.
+type EvictFunc = cache.EvictFunc
+
+// Policy is a metadata-only eviction policy. Implementations returned by
+// this package are not safe for concurrent use; Cache adds locking and
+// sharding on top.
+type Policy = cache.Policy
+
+// PoolSpec configures one pool of a pooled-LRU policy.
+type PoolSpec = cache.PoolSpec
+
+// DefaultPrecision is the ratio-rounding precision used across the paper's
+// evaluation (5 significant bits).
+const DefaultPrecision = core.DefaultPrecision
+
+// PrecisionInf disables ratio rounding entirely; eviction decisions then
+// match GDS on integerized ratios.
+const PrecisionInf = rounding.PrecisionInf
+
+// NewCAMPPolicy returns the CAMP eviction policy with the given byte
+// capacity and rounding precision (use DefaultPrecision unless tuning).
+func NewCAMPPolicy(capacity int64, precision uint) Policy {
+	return core.NewCamp(capacity, core.WithPrecision(precision))
+}
+
+// NewLRUPolicy returns a plain least-recently-used policy.
+func NewLRUPolicy(capacity int64) Policy {
+	return cache.NewLRU(capacity)
+}
+
+// NewGDSPolicy returns the exact Greedy-Dual-Size policy (a full item heap;
+// slower than CAMP, identical goal).
+func NewGDSPolicy(capacity int64) Policy {
+	return core.NewGDS(capacity)
+}
+
+// NewPooledLRUPolicy returns the statically partitioned multi-pool LRU
+// described in §3 of the paper. Items are routed to pools by cost range and
+// each pool evicts independently.
+func NewPooledLRUPolicy(capacity int64, pools []PoolSpec) (Policy, error) {
+	return cache.NewPooled(capacity, pools)
+}

@@ -1,0 +1,380 @@
+package camp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	if _, err := New(-1); err == nil {
+		t.Fatal("negative capacity must error")
+	}
+	if _, err := New(100, WithShards(3)); err == nil {
+		t.Fatal("non-power-of-two shards must error")
+	}
+	if _, err := New(100, WithShards(8192)); err == nil {
+		t.Fatal("too many shards must error")
+	}
+	if _, err := New(100, WithPolicy(PolicyKind(99))); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if _, err := New(100, WithEntryOverhead(-1)); err == nil {
+		t.Fatal("negative overhead must error")
+	}
+	if _, err := New(100, WithDefaultCost(-1)); err == nil {
+		t.Fatal("negative default cost must error")
+	}
+	if _, err := New(100, WithPooledPolicy(nil)); err == nil {
+		t.Fatal("empty pool list must error")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("unexpected hit")
+	}
+	if !c.Set("k", []byte("hello"), 100) {
+		t.Fatal("Set failed")
+	}
+	v, ok := c.Get("k")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	e, ok := c.Peek("k")
+	if !ok || e.Cost != 100 || e.Size != int64(len("k")+len("hello")) {
+		t.Fatalf("Peek = %+v", e)
+	}
+	if !c.Contains("k") || c.Len() != 1 {
+		t.Fatal("Contains/Len broken")
+	}
+	if !c.Delete("k") || c.Delete("k") {
+		t.Fatal("Delete semantics broken")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("deleted key should miss")
+	}
+}
+
+func TestCacheValueMapStaysInSync(t *testing.T) {
+	c, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill, then force evictions and check no stale values linger.
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Set(key, []byte("0123456789"), 1)
+	}
+	live := 0
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, ok := c.Get(key)
+		if ok {
+			live++
+			if string(v) != "0123456789" {
+				t.Fatalf("corrupt value for %s: %q", key, v)
+			}
+		}
+	}
+	if live != c.Len() {
+		t.Fatalf("live values %d != Len %d", live, c.Len())
+	}
+	if c.Used() > c.Capacity() {
+		t.Fatalf("Used %d > Capacity %d", c.Used(), c.Capacity())
+	}
+}
+
+func TestCacheTooLargeValue(t *testing.T) {
+	c, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Set("k", make([]byte, 100), 1) {
+		t.Fatal("oversized value must be rejected")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d", c.Stats().Rejected)
+	}
+	// A failed grow of an existing entry must also drop its value.
+	if !c.Set("k", []byte("ok"), 1) {
+		t.Fatal("small value should fit")
+	}
+	if c.Set("k", make([]byte, 100), 1) {
+		t.Fatal("oversized update must be rejected")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry dropped by failed update must not return a value")
+	}
+}
+
+func TestCacheDefaultCost(t *testing.T) {
+	c, err := New(1<<20, WithDefaultCost(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set("k", []byte("v"), 0)
+	e, _ := c.Peek("k")
+	if e.Cost != 7 {
+		t.Fatalf("cost = %d, want default 7", e.Cost)
+	}
+	c.Set("k2", []byte("v"), 123)
+	e2, _ := c.Peek("k2")
+	if e2.Cost != 123 {
+		t.Fatalf("cost = %d, want 123", e2.Cost)
+	}
+}
+
+func TestCacheEntryOverhead(t *testing.T) {
+	c, err := New(1<<20, WithEntryOverhead(56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Set("key", []byte("value"), 1)
+	e, _ := c.Peek("key")
+	if want := int64(3 + 5 + 56); e.Size != want {
+		t.Fatalf("size = %d, want %d", e.Size, want)
+	}
+}
+
+func TestCacheSetSized(t *testing.T) {
+	c, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSized("k", []byte("tiny"), 4096, 10)
+	e, _ := c.Peek("k")
+	if e.Size != 4096 {
+		t.Fatalf("size = %d, want 4096", e.Size)
+	}
+	if c.Used() != 4096 {
+		t.Fatalf("Used = %d", c.Used())
+	}
+}
+
+func TestCacheEvictionHook(t *testing.T) {
+	var mu sync.Mutex
+	var evicted []string
+	hook := func(e Entry) {
+		mu.Lock()
+		evicted = append(evicted, e.Key)
+		mu.Unlock()
+	}
+	c, err := New(30, WithPolicy(LRU), WithEvictionHook(hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSized("a", nil, 10, 1)
+	c.SetSized("b", nil, 10, 1)
+	c.SetSized("c", nil, 21, 1) // 10+10+21 > 30: evicts a and b
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted = %v, want [a b]", evicted)
+	}
+}
+
+func TestCachePolicies(t *testing.T) {
+	kinds := []PolicyKind{CAMP, LRU, GDS, ARC, TwoQ, LFU, GDWheel}
+	for _, k := range kinds {
+		t.Run(k.String(), func(t *testing.T) {
+			c, err := New(10000, WithPolicy(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 5000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(200))
+				if _, ok := c.Get(key); !ok {
+					c.Set(key, make([]byte, rng.Intn(200)+1), int64(rng.Intn(1000)))
+				}
+			}
+			st := c.Stats()
+			if st.Hits == 0 || st.Misses == 0 || st.Evictions == 0 {
+				t.Fatalf("workload not exercising the policy: %+v", st)
+			}
+			if c.Used() > c.Capacity() {
+				t.Fatal("over capacity")
+			}
+		})
+	}
+}
+
+func TestCachePooledPolicy(t *testing.T) {
+	pools := []PoolSpec{
+		{Name: "cheap", MinCost: 0, MaxCost: 100, Weight: 1},
+		{Name: "dear", MinCost: 100, MaxCost: 0, Weight: 1},
+	}
+	c, err := New(2000, WithPooledPolicy(pools))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSized("gold", nil, 100, 10000)
+	for i := 0; i < 100; i++ {
+		c.SetSized(fmt.Sprintf("c%d", i), nil, 100, 1)
+	}
+	if !c.Contains("gold") {
+		t.Fatal("pooled isolation broken")
+	}
+}
+
+func TestCacheCAMPPrecisionAndQueues(t *testing.T) {
+	c, err := New(1<<20, WithPrecision(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 300; i++ {
+		c.SetSized(fmt.Sprintf("k%d", i), nil, 100, int64(i*7))
+	}
+	if c.QueueCount() == 0 {
+		t.Fatal("CAMP cache should report queues")
+	}
+	lru, err := New(1<<20, WithPolicy(LRU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru.SetSized("x", nil, 1, 1)
+	if lru.QueueCount() != 0 {
+		t.Fatal("LRU cache should report zero queues")
+	}
+}
+
+func TestCacheSharding(t *testing.T) {
+	c, err := New(1<<20, WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 8 {
+		t.Fatalf("Shards = %d", c.Shards())
+	}
+	if c.Capacity() != 1<<20 {
+		t.Fatalf("Capacity = %d, want %d (shares must sum)", c.Capacity(), 1<<20)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if !c.Set(key, []byte{byte(i)}, 1) {
+			t.Fatalf("Set %s failed", key)
+		}
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", c.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, ok := c.Get(key)
+		if !ok || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("Get %s = %v, %v", key, v, ok)
+		}
+	}
+}
+
+// TestCacheConcurrent hammers a sharded cache from many goroutines; run
+// under -race this validates the locking discipline.
+func TestCacheConcurrent(t *testing.T) {
+	c, err := New(1<<16, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(500))
+				switch rng.Intn(4) {
+				case 0:
+					c.Set(key, make([]byte, rng.Intn(100)+1), int64(rng.Intn(100)+1))
+				case 1:
+					c.Delete(key)
+				default:
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > c.Capacity() {
+		t.Fatal("over capacity after concurrent run")
+	}
+	// All surviving values must be readable.
+	st := c.Stats()
+	if st.Sets == 0 {
+		t.Fatal("no sets recorded")
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	ps := []Policy{
+		NewCAMPPolicy(100, DefaultPrecision),
+		NewLRUPolicy(100),
+		NewGDSPolicy(100),
+	}
+	pooled, err := NewPooledLRUPolicy(100, []PoolSpec{{Name: "all", Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps = append(ps, pooled)
+	for _, p := range ps {
+		if !p.Set("k", 10, 5) {
+			t.Fatalf("%s: Set failed", p.Name())
+		}
+		if !p.Get("k") {
+			t.Fatalf("%s: Get missed", p.Name())
+		}
+		if p.Capacity() != 100 {
+			t.Fatalf("%s: Capacity = %d", p.Name(), p.Capacity())
+		}
+	}
+}
+
+func TestPolicyKindString(t *testing.T) {
+	want := map[PolicyKind]string{
+		CAMP: "camp", LRU: "lru", GDS: "gds", ARC: "arc",
+		TwoQ: "2q", LFU: "lfu", GDWheel: "gdwheel",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if PolicyKind(42).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestCacheAdmissionOption(t *testing.T) {
+	if _, err := New(100, WithAdmission(0)); err == nil {
+		t.Fatal("zero admission frequency must error")
+	}
+	c, err := New(100, WithPolicy(LRU), WithAdmission(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the cache with popular keys.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("hot%d", i)
+		c.Get(key)
+		c.Get(key)
+		if !c.SetSized(key, nil, 10, 1) {
+			t.Fatalf("popular key %s rejected", key)
+		}
+	}
+	// A one-hit wonder cannot displace them.
+	c.Get("wonder")
+	if c.SetSized("wonder", nil, 10, 1) {
+		t.Fatal("one-hit wonder should be rejected")
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", c.Len())
+	}
+}

@@ -1,0 +1,146 @@
+// Command campload replays a reference trace against a running campsrv (or
+// any memcached-text-protocol server that accepts the optional cost token),
+// reporting the §3 metrics: miss rate and cost-miss ratio with cold
+// requests excluded, plus throughput.
+//
+// Usage:
+//
+//	campload -addr 127.0.0.1:11211 [-trace file] [-keys n] [-requests n]
+//	         [-seed n] [-conns n] [-iq]
+//
+// Without -trace it generates the paper's BG workload on the fly. With -iq
+// the client omits costs so the server derives them from miss-to-set
+// latency.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"camp/internal/kvclient"
+	"camp/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:11211", "server address")
+		traceFile = flag.String("trace", "", "trace file (text or binary); empty generates a BG trace")
+		keys      = flag.Int("keys", 20000, "generated trace: number of keys")
+		requests  = flag.Int64("requests", 200000, "generated trace: number of requests")
+		seed      = flag.Int64("seed", 1, "generated trace: random seed")
+		conns     = flag.Int("conns", 1, "concurrent client connections")
+		iq        = flag.Bool("iq", false, "omit costs so the server derives them (IQ mode)")
+	)
+	flag.Parse()
+
+	reqs, err := loadTrace(*traceFile, *seed, *keys, *requests)
+	if err != nil {
+		return err
+	}
+
+	var (
+		mu                   sync.Mutex
+		seen                 = make(map[string]struct{}, len(reqs)/4)
+		warmHits, warmMisses int64
+		missCost, totalCost  int64
+	)
+	work := make(chan trace.Request)
+	var wg sync.WaitGroup
+	errs := make(chan error, *conns)
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		cli, err := kvclient.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cli.Close()
+			for r := range work {
+				mu.Lock()
+				_, warm := seen[r.Key]
+				if !warm {
+					seen[r.Key] = struct{}{}
+				}
+				mu.Unlock()
+				_, hit, err := cli.Get(r.Key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !hit {
+					cost := r.Cost
+					if *iq {
+						cost = 0
+					}
+					err := cli.Set(r.Key, make([]byte, r.Size), 0, 0, cost)
+					if err != nil && !errors.Is(err, kvclient.ErrServer) {
+						errs <- err
+						return
+					}
+				}
+				if warm {
+					mu.Lock()
+					totalCost += r.Cost
+					if hit {
+						warmHits++
+					} else {
+						warmMisses++
+						missCost += r.Cost
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, r := range reqs {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	warm := warmHits + warmMisses
+	fmt.Printf("requests:        %d (%d warm)\n", len(reqs), warm)
+	fmt.Printf("elapsed:         %v (%.0f req/s)\n", elapsed.Round(time.Millisecond),
+		float64(len(reqs))/elapsed.Seconds())
+	if warm > 0 {
+		fmt.Printf("miss rate:       %.4f\n", float64(warmMisses)/float64(warm))
+	}
+	if totalCost > 0 {
+		fmt.Printf("cost-miss ratio: %.4f\n", float64(missCost)/float64(totalCost))
+	}
+	return nil
+}
+
+func loadTrace(path string, seed int64, keys int, requests int64) ([]trace.Request, error) {
+	if path == "" {
+		return trace.Materialize(trace.NewBGTrace(seed, keys, requests))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return trace.Materialize(trace.NewBinaryReader(f))
+	}
+	return trace.Materialize(trace.NewTextReader(f))
+}

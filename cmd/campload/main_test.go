@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"camp/internal/trace"
+)
+
+func TestLoadTraceGenerated(t *testing.T) {
+	reqs, err := loadTrace("", 7, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 500 {
+		t.Fatalf("got %d requests, want 500", len(reqs))
+	}
+}
+
+func TestLoadTraceTextFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteText(f, trace.NewBGTrace(3, 20, 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reqs, err := loadTrace(path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 100 {
+		t.Fatalf("got %d requests, want 100", len(reqs))
+	}
+}
+
+func TestLoadTraceBinaryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.WriteBinary(f, trace.NewBGTrace(3, 20, 100)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reqs, err := loadTrace(path, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 100 {
+		t.Fatalf("got %d requests, want 100", len(reqs))
+	}
+}
+
+func TestLoadTraceMissingFile(t *testing.T) {
+	if _, err := loadTrace("/nonexistent/path.txt", 0, 0, 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

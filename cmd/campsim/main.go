@@ -1,0 +1,107 @@
+// Command campsim regenerates the CAMP paper's evaluation figures (4, 5a-5d,
+// 6a-6d, 7, 8a-8c) as text tables from trace-driven simulation.
+//
+// Usage:
+//
+//	campsim [-fig all|4|5a|5b|5c|5d|5d-pools|6a|6b|6c|6d|7|8a|8b|8c]
+//	        [-scale f] [-keys n] [-requests n] [-seed n]
+//
+// The default workload is a laptop-scale rendition of the paper's 4M-row BG
+// traces; -scale 10 restores paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"camp/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campsim", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate (all, 4, 5a, 5b, 5c, 5d, 5d-pools, 6a, 6b, 6c, 6d, 7, 8a, 8b, 8c, 9, 9a, 9b, 9c, baselines)")
+		scale    = fs.Float64("scale", 1, "workload scale factor (10 = paper scale)")
+		keys     = fs.Int("keys", 0, "override key count")
+		requests = fs.Int64("requests", 0, "override request count")
+		seed     = fs.Int64("seed", 0, "override random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := figures.Default()
+	if *scale != 1 {
+		cfg = cfg.Scale(*scale)
+	}
+	if *keys > 0 {
+		cfg.Keys = *keys
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	type genFunc func(figures.Config) *figures.Table
+	gens := []struct {
+		id string
+		fn genFunc
+	}{
+		{id: "4", fn: figures.Fig4},
+		{id: "5a", fn: figures.Fig5a},
+		{id: "5b", fn: figures.Fig5b},
+		{id: "5c", fn: figures.Fig5c},
+		{id: "5d", fn: figures.Fig5d},
+		{id: "5d-pools", fn: figures.Fig5dPools},
+		{id: "6a", fn: figures.Fig6a},
+		{id: "6b", fn: figures.Fig6b},
+		{id: "6c", fn: figures.Fig6c},
+		{id: "6d", fn: figures.Fig6d},
+		{id: "7", fn: figures.Fig7},
+		{id: "8a", fn: figures.Fig8a},
+		{id: "8b", fn: figures.Fig8b},
+		{id: "8c", fn: figures.Fig8c},
+		{id: "baselines", fn: figures.Baselines},
+		{id: "rdbms", fn: figures.RDBMS},
+	}
+
+	want := strings.ToLower(*fig)
+	matched := false
+	for _, g := range gens {
+		if want != "all" && want != g.id {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		table := g.fn(cfg)
+		fmt.Fprintln(out, table.Format())
+		fmt.Fprintf(out, "(fig %s computed in %v)\n\n", g.id, time.Since(start).Round(time.Millisecond))
+	}
+	if want == "all" || want == "9" || want == "9a" || want == "9b" || want == "9c" {
+		matched = true
+		start := time.Now()
+		for _, table := range figures.Fig9All(cfg) {
+			if want == "all" || want == "9" || strings.HasSuffix(table.ID, want) {
+				fmt.Fprintln(out, table.Format())
+			}
+		}
+		fmt.Fprintf(out, "(fig 9 computed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "5c", "-scale", "0.02"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig5c") || !strings.Contains(out, "camp(p=5)") {
+		t.Fatalf("output missing table: %s", out)
+	}
+	if strings.Contains(out, "fig5d") {
+		t.Fatal("-fig 5c must not print other figures")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &buf); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "7", "-keys", "300", "-requests", "5000", "-seed", "9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig7") {
+		t.Fatalf("missing fig7 output: %s", buf.String())
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "baselines", "-scale", "0.02"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"arc", "2q", "lfu", "gdwheel", "camp+admit"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("baselines output missing %s: %s", col, out)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command campsrv runs a standalone cost-aware key-value server speaking a
+// memcached-style text protocol (see internal/kvserver for the grammar).
+//
+// Usage:
+//
+//	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
+//	        [-precision 5] [-no-iq]
+//
+// In IQ mode (default) the server derives each key's cost from the elapsed
+// time between a get miss and the subsequent set, as in the paper's §4
+// deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"camp/internal/kvserver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campsrv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
+		mem       = flag.String("mem", "64MiB", "cache memory (e.g. 512KiB, 64MiB, 2GiB)")
+		policy    = flag.String("policy", "camp", "eviction policy: camp, lru or gds")
+		mode      = flag.String("mode", "byte", "memory management: byte, slab or buddy")
+		precision = flag.Uint("precision", 5, "CAMP rounding precision (0 = infinite)")
+		noIQ      = flag.Bool("no-iq", false, "disable IQ miss-to-set cost derivation")
+	)
+	flag.Parse()
+
+	bytes, err := parseSize(*mem)
+	if err != nil {
+		return err
+	}
+	srv, err := kvserver.New(kvserver.Config{
+		Addr:        *addr,
+		MemoryBytes: bytes,
+		Policy:      *policy,
+		Mode:        *mode,
+		Precision:   *precision,
+		DisableIQ:   *noIQ,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("campsrv listening on %s (policy=%s mode=%s mem=%d bytes)\n",
+		srv.Addr(), *policy, *mode, bytes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("campsrv: shutting down")
+	return srv.Close()
+}
+
+// parseSize parses sizes like "512KiB", "64MiB", "2GiB" or plain bytes.
+func parseSize(s string) (int64, error) {
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{suffix: "GiB", mult: 1 << 30},
+		{suffix: "MiB", mult: 1 << 20},
+		{suffix: "KiB", mult: 1 << 10},
+		{suffix: "GB", mult: 1e9},
+		{suffix: "MB", mult: 1e6},
+		{suffix: "KB", mult: 1e3},
+		{suffix: "B", mult: 1},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			n, err := strconv.ParseFloat(strings.TrimSuffix(s, u.suffix), 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad size %q: %w", s, err)
+			}
+			return int64(n * float64(u.mult)), nil
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    int64
+		wantErr bool
+	}{
+		{give: "1024", want: 1024},
+		{give: "64MiB", want: 64 << 20},
+		{give: "512KiB", want: 512 << 10},
+		{give: "2GiB", want: 2 << 30},
+		{give: "1.5MiB", want: 3 << 19},
+		{give: "64MB", want: 64_000_000},
+		{give: "5KB", want: 5000},
+		{give: "1GB", want: 1_000_000_000},
+		{give: "100B", want: 100},
+		{give: "abc", wantErr: true},
+		{give: "12XiB", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseSize(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseSize(%q) should error", tt.give)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", tt.give, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("parseSize(%q) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command tracegen writes reference trace files in the repository's text or
+// binary format, reproducing the paper's workload families.
+//
+// Usage:
+//
+//	tracegen -out trace.txt [-workload bg|varsize|equisize|evolving]
+//	         [-keys n] [-requests n] [-seed n] [-traces n]
+//
+// Workloads:
+//
+//	bg        §3 default — 70/20 skew, sizes ~[400,600], costs {1,100,10K}
+//	varsize   §3.2/Fig 7 — heavy-tailed sizes, constant cost
+//	equisize  §3.2/Fig 8 — equal sizes, costs uniform in [1,100K]
+//	evolving  §3.1/Fig 6 — N back-to-back traces with disjoint key spaces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"camp/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("out", "", "output file (.bin writes the binary format)")
+		workload = flag.String("workload", "bg", "bg, varsize, equisize or evolving")
+		keys     = flag.Int("keys", 20000, "number of distinct keys (per trace for evolving)")
+		requests = flag.Int64("requests", 400000, "number of requests (per trace for evolving)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traces   = flag.Int("traces", 10, "evolving workload: number of back-to-back traces")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var src trace.Source
+	switch *workload {
+	case "bg":
+		src = trace.NewBGTrace(*seed, *keys, *requests)
+	case "varsize":
+		src = trace.NewVariableSizeTrace(*seed, *keys, *requests)
+	case "equisize":
+		src = trace.NewEquiSizeTrace(*seed, *keys, *requests)
+	case "evolving":
+		src = trace.Concat(trace.NewEvolvingTraces(*seed, *traces, *keys, *requests)...)
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var n int64
+	if strings.HasSuffix(*out, ".bin") {
+		n, err = trace.WriteBinary(f, src)
+	} else {
+		n, err = trace.WriteText(f, src)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d requests to %s\n", n, *out)
+	return nil
+}

@@ -1,0 +1,71 @@
+package camp_test
+
+import (
+	"fmt"
+
+	"camp"
+)
+
+// Example demonstrates basic cost-aware caching: the expensive entry
+// survives cheap churn that would wash it out of an LRU cache.
+func Example() {
+	c, err := camp.New(16 << 10)
+	if err != nil {
+		panic(err)
+	}
+
+	c.Set("cheap:1", []byte("db row"), 800)          // 0.8ms query
+	c.Set("expensive:1", []byte("model"), 9_000_000) // 9s computation
+
+	for i := 0; i < 1000; i++ {
+		c.Set(fmt.Sprintf("churn:%d", i), make([]byte, 256), 500)
+	}
+
+	_, ok := c.Get("expensive:1")
+	fmt.Println("expensive entry survived:", ok)
+	// Output: expensive entry survived: true
+}
+
+// ExampleNew_policies shows how to run the same workload under different
+// eviction policies for comparison.
+func ExampleNew_policies() {
+	for _, kind := range []camp.PolicyKind{camp.LRU, camp.CAMP} {
+		c, err := camp.New(1<<20, camp.WithPolicy(kind))
+		if err != nil {
+			panic(err)
+		}
+		c.Set("k", []byte("v"), 10)
+		fmt.Println(kind.String(), c.Len())
+	}
+	// Output:
+	// lru 1
+	// camp 1
+}
+
+// ExampleWithEvictionHook observes evictions as they happen.
+func ExampleWithEvictionHook() {
+	evicted := 0
+	c, err := camp.New(1<<10,
+		camp.WithPolicy(camp.LRU),
+		camp.WithEvictionHook(func(e camp.Entry) { evicted++ }),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.SetSized(fmt.Sprintf("k%d", i), nil, 64, 1)
+	}
+	fmt.Println("evictions observed:", evicted > 0)
+	// Output: evictions observed: true
+}
+
+// ExampleNewCAMPPolicy uses the metadata-only policy directly, as a
+// simulator would.
+func ExampleNewCAMPPolicy() {
+	p := camp.NewCAMPPolicy(100, camp.DefaultPrecision)
+	p.Set("a", 50, 1)     // cheap
+	p.Set("b", 50, 10000) // precious
+	p.Set("c", 50, 100)   // forces one eviction: "a" goes
+	fmt.Println(p.Contains("a"), p.Contains("b"), p.Contains("c"))
+	// Output: false true true
+}

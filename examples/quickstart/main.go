@@ -1,0 +1,54 @@
+// Quickstart: create a CAMP cache, store values with costs, and watch the
+// policy keep expensive entries alive through cheap churn.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"camp"
+)
+
+func main() {
+	// 64 KiB cache using the CAMP policy at the paper's precision 5.
+	c, err := camp.New(64<<10,
+		camp.WithPrecision(camp.DefaultPrecision),
+		camp.WithEvictionHook(func(e camp.Entry) {
+			// Evictions are observable; production code might log
+			// or count them.
+			_ = e
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A key-value pair's cost is whatever a miss costs *you*: the paper
+	// uses recomputation time. Here, microseconds to recompute.
+	c.Set("user:42:profile", []byte(`{"name":"Ada"}`), 800)          // cheap DB lookup
+	c.Set("ads:model:v3", make([]byte, 4096), 45_000_000)            // 45s ML job
+	c.Set("frontpage:html", []byte("<html>cached page</html>"), 950) // render
+
+	if v, ok := c.Get("user:42:profile"); ok {
+		fmt.Printf("hit: user:42:profile (%d bytes)\n", len(v))
+	}
+
+	// Flood the cache with cheap entries far beyond its capacity. LRU
+	// would wash the ML result away; CAMP keeps it because evicting it
+	// would cost 45 seconds to undo.
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("session:%d", i)
+		c.Set(key, make([]byte, 256), 500)
+	}
+
+	if _, ok := c.Get("ads:model:v3"); ok {
+		fmt.Println("the 45-second ML result survived 10,000 cheap inserts")
+	} else {
+		fmt.Println("unexpected: the expensive entry was evicted")
+	}
+
+	stats := c.Stats()
+	fmt.Printf("stats: %d hits, %d misses, %d evictions, %d bytes used of %d\n",
+		stats.Hits, stats.Misses, stats.Evictions, c.Used(), c.Capacity())
+	fmt.Printf("CAMP is maintaining %d LRU queues\n", c.QueueCount())
+}

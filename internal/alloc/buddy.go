@@ -1,0 +1,214 @@
+package alloc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// BuddyAllocator is a classic binary buddy system over a power-of-two arena.
+// §5 of the paper suggests it as the space manager to pair with CAMP (or
+// LRU) in a memcached-style server, separating how memory is allocated from
+// which key-value pairs occupy it — thereby avoiding slab calcification.
+//
+// Blocks are powers of two from minBlock up to the arena size. Alloc rounds
+// the request up, splitting larger blocks as needed; Free coalesces a block
+// with its buddy whenever the buddy is also free.
+type BuddyAllocator struct {
+	arenaBits int // arena size == 1 << arenaBits
+	minBits   int // smallest block == 1 << minBits
+	// free[o] holds the offsets of free blocks of order o, where order o
+	// means size 1 << (minBits + o).
+	free [][]int64
+	// allocated maps an offset to its block order.
+	allocated map[int64]int
+	usedBytes int64
+}
+
+// NewBuddyAllocator creates a buddy allocator over an arena of arenaSize
+// bytes (rounded down to a power of two) with the given smallest block.
+func NewBuddyAllocator(arenaSize, minBlock int64) (*BuddyAllocator, error) {
+	if arenaSize <= 0 || minBlock <= 0 {
+		return nil, fmt.Errorf("alloc: arena and min block must be positive")
+	}
+	if minBlock > arenaSize {
+		return nil, fmt.Errorf("alloc: min block %d exceeds arena %d", minBlock, arenaSize)
+	}
+	arenaBits := bits.Len64(uint64(arenaSize)) - 1 // round down to 2^k
+	minBits := bits.Len64(uint64(minBlock))
+	if 1<<(minBits-1) == minBlock {
+		minBits-- // minBlock already a power of two
+	}
+	if minBits > arenaBits {
+		return nil, fmt.Errorf("alloc: min block rounds above arena")
+	}
+	orders := arenaBits - minBits + 1
+	b := &BuddyAllocator{
+		arenaBits: arenaBits,
+		minBits:   minBits,
+		free:      make([][]int64, orders),
+		allocated: make(map[int64]int),
+	}
+	b.free[orders-1] = []int64{0} // one maximal free block
+	return b, nil
+}
+
+// ArenaSize returns the usable arena size in bytes.
+func (b *BuddyAllocator) ArenaSize() int64 { return 1 << b.arenaBits }
+
+// Used returns the bytes currently allocated (after power-of-two rounding).
+func (b *BuddyAllocator) Used() int64 { return b.usedBytes }
+
+// BlockSize returns the rounded block size an allocation of size bytes
+// would occupy.
+func (b *BuddyAllocator) BlockSize(size int64) (int64, error) {
+	o, err := b.orderFor(size)
+	if err != nil {
+		return 0, err
+	}
+	return b.sizeOf(o), nil
+}
+
+// Alloc reserves a block of at least size bytes and returns its offset.
+func (b *BuddyAllocator) Alloc(size int64) (int64, error) {
+	order, err := b.orderFor(size)
+	if err != nil {
+		return 0, err
+	}
+	// Find the smallest order >= order with a free block.
+	from := order
+	for from < len(b.free) && len(b.free[from]) == 0 {
+		from++
+	}
+	if from == len(b.free) {
+		return 0, ErrNoMemory
+	}
+	// Pop and split down to the requested order.
+	off := b.pop(from)
+	for from > order {
+		from--
+		buddy := off + b.sizeOf(from)
+		b.free[from] = append(b.free[from], buddy)
+	}
+	b.allocated[off] = order
+	b.usedBytes += b.sizeOf(order)
+	return off, nil
+}
+
+// Free releases the block at offset, coalescing with free buddies.
+func (b *BuddyAllocator) Free(offset int64) {
+	order, ok := b.allocated[offset]
+	if !ok {
+		panic("alloc: Free of unallocated offset")
+	}
+	delete(b.allocated, offset)
+	b.usedBytes -= b.sizeOf(order)
+	for order < len(b.free)-1 {
+		buddy := offset ^ b.sizeOf(order)
+		if !b.removeFree(order, buddy) {
+			break
+		}
+		if buddy < offset {
+			offset = buddy
+		}
+		order++
+	}
+	b.free[order] = append(b.free[order], offset)
+}
+
+// FreeBytes returns the total bytes on free lists.
+func (b *BuddyAllocator) FreeBytes() int64 {
+	var total int64
+	for o, blocks := range b.free {
+		total += int64(len(blocks)) * b.sizeOf(o)
+	}
+	return total
+}
+
+// CheckInvariants verifies that free and allocated blocks exactly tile the
+// arena without overlap; tests call it after every operation.
+func (b *BuddyAllocator) CheckInvariants() error {
+	type span struct{ off, size int64 }
+	var spans []span
+	for off, o := range b.allocated {
+		spans = append(spans, span{off, b.sizeOf(o)})
+	}
+	for o, blocks := range b.free {
+		for _, off := range blocks {
+			spans = append(spans, span{off, b.sizeOf(o)})
+		}
+	}
+	var total int64
+	seen := make(map[int64]int64, len(spans))
+	for _, s := range spans {
+		if s.off%s.size != 0 {
+			return fmt.Errorf("block at %d size %d is misaligned", s.off, s.size)
+		}
+		if old, dup := seen[s.off]; dup {
+			return fmt.Errorf("offset %d appears twice (sizes %d and %d)", s.off, old, s.size)
+		}
+		seen[s.off] = s.size
+		total += s.size
+	}
+	if total != b.ArenaSize() {
+		return fmt.Errorf("blocks cover %d bytes, arena is %d", total, b.ArenaSize())
+	}
+	// Overlap check: sort by offset and ensure each block ends where the
+	// next begins. With exact coverage and no duplicate offsets, checking
+	// pairwise adjacency suffices.
+	offs := make([]int64, 0, len(seen))
+	for off := range seen {
+		offs = append(offs, off)
+	}
+	sortInt64s(offs)
+	var cursor int64
+	for _, off := range offs {
+		if off != cursor {
+			return fmt.Errorf("gap or overlap at offset %d (cursor %d)", off, cursor)
+		}
+		cursor += seen[off]
+	}
+	return nil
+}
+
+func (b *BuddyAllocator) orderFor(size int64) (int, error) {
+	if size <= 0 {
+		size = 1
+	}
+	if size > b.ArenaSize() {
+		return 0, ErrTooLarge
+	}
+	bitsNeeded := bits.Len64(uint64(size - 1))
+	if 1<<bitsNeeded < size {
+		bitsNeeded++
+	}
+	if bitsNeeded < b.minBits {
+		bitsNeeded = b.minBits
+	}
+	return bitsNeeded - b.minBits, nil
+}
+
+func (b *BuddyAllocator) sizeOf(order int) int64 { return 1 << (b.minBits + order) }
+
+func (b *BuddyAllocator) pop(order int) int64 {
+	n := len(b.free[order])
+	off := b.free[order][n-1]
+	b.free[order] = b.free[order][:n-1]
+	return off
+}
+
+func (b *BuddyAllocator) removeFree(order int, off int64) bool {
+	blocks := b.free[order]
+	for i, o := range blocks {
+		if o == off {
+			blocks[i] = blocks[len(blocks)-1]
+			b.free[order] = blocks[:len(blocks)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,175 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newBuddy(t *testing.T, arena, minBlock int64) *BuddyAllocator {
+	t.Helper()
+	b, err := NewBuddyAllocator(arena, minBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuddyConstructionErrors(t *testing.T) {
+	if _, err := NewBuddyAllocator(0, 64); err == nil {
+		t.Fatal("zero arena must error")
+	}
+	if _, err := NewBuddyAllocator(1024, 0); err == nil {
+		t.Fatal("zero min block must error")
+	}
+	if _, err := NewBuddyAllocator(64, 1024); err == nil {
+		t.Fatal("min block above arena must error")
+	}
+}
+
+func TestBuddyArenaRounding(t *testing.T) {
+	b := newBuddy(t, 1000, 64) // rounds down to 512
+	if b.ArenaSize() != 512 {
+		t.Fatalf("arena = %d, want 512", b.ArenaSize())
+	}
+}
+
+func TestBuddyBlockSize(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	tests := []struct {
+		size int64
+		want int64
+	}{
+		{size: 1, want: 64},
+		{size: 64, want: 64},
+		{size: 65, want: 128},
+		{size: 100, want: 128},
+		{size: 1024, want: 1024},
+	}
+	for _, tt := range tests {
+		got, err := b.BlockSize(tt.size)
+		if err != nil {
+			t.Fatalf("BlockSize(%d): %v", tt.size, err)
+		}
+		if got != tt.want {
+			t.Fatalf("BlockSize(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+	if _, err := b.BlockSize(2048); err == nil {
+		t.Fatal("oversized block must error")
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	// Allocate the whole arena as 16 min blocks.
+	var offs []int64
+	for i := 0; i < 16; i++ {
+		off, err := b.Alloc(64)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		offs = append(offs, off)
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Alloc(64); err != ErrNoMemory {
+		t.Fatalf("full arena should return ErrNoMemory, got %v", err)
+	}
+	if b.Used() != 1024 || b.FreeBytes() != 0 {
+		t.Fatalf("Used=%d Free=%d", b.Used(), b.FreeBytes())
+	}
+	// Free everything; blocks must coalesce back into one max block.
+	for _, off := range offs {
+		b.Free(off)
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Used() != 0 || b.FreeBytes() != 1024 {
+		t.Fatalf("after free-all: Used=%d Free=%d", b.Used(), b.FreeBytes())
+	}
+	// A full-arena allocation must now succeed — proof of coalescing.
+	if _, err := b.Alloc(1024); err != nil {
+		t.Fatalf("full-arena alloc after coalescing: %v", err)
+	}
+}
+
+func TestBuddyFreeUnallocatedPanics(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Free(0)
+}
+
+func TestBuddyMixedSizes(t *testing.T) {
+	b := newBuddy(t, 4096, 64)
+	a1, err := b.Alloc(1000) // 1024 block
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.Alloc(2000) // 2048 block
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := b.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 1024+2048+512 {
+		t.Fatalf("Used = %d", b.Used())
+	}
+	// 512 bytes remain; a 1024 request must fail.
+	if _, err := b.Alloc(1024); err != ErrNoMemory {
+		t.Fatalf("expected ErrNoMemory, got %v", err)
+	}
+	b.Free(a1)
+	if _, err := b.Alloc(1024); err != nil {
+		t.Fatalf("1024 after freeing 1024: %v", err)
+	}
+	b.Free(a2)
+	b.Free(a3)
+}
+
+// TestBuddyRandomized cross-checks invariants under random churn.
+func TestBuddyRandomized(t *testing.T) {
+	b := newBuddy(t, 1<<16, 64)
+	rng := rand.New(rand.NewSource(8))
+	live := make([]int64, 0, 128)
+	for op := 0; op < 20000; op++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			size := int64(rng.Intn(4096) + 1)
+			off, err := b.Alloc(size)
+			if err == nil {
+				live = append(live, off)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			b.Free(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if op%500 == 0 {
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	for _, off := range live {
+		b.Free(off)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 0 {
+		t.Fatalf("Used = %d after freeing everything", b.Used())
+	}
+	if _, err := b.Alloc(1 << 16); err != nil {
+		t.Fatalf("arena did not fully coalesce: %v", err)
+	}
+}

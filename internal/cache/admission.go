@@ -1,0 +1,155 @@
+package cache
+
+import "hash/maphash"
+
+// Admission gates inserts into an inner policy with a frequency sketch,
+// prototyping the §6 future-work direction: "admission control policies in
+// conjunction with CAMP ... should enhance the performance of CAMP by not
+// inserting unpopular key-value pairs that are evicted before their next
+// request."
+//
+// Every Get (hit or miss) bumps the key's estimated frequency in a small
+// count-min sketch with periodic halving (TinyLFU-style aging). A brand-new
+// key is admitted only when the cache has free room or the key has been
+// seen at least MinFrequency times; updates to resident keys always pass
+// through. One-hit wonders therefore never displace resident items.
+type Admission struct {
+	inner   Policy
+	sketch  *freqSketch
+	minHits uint8
+	stats   Stats
+}
+
+var _ Policy = (*Admission)(nil)
+
+// AdmissionOption configures NewAdmission.
+type AdmissionOption func(*Admission)
+
+// WithMinFrequency sets the admission threshold (default 2: a key must be
+// requested at least twice before it may displace resident data).
+func WithMinFrequency(n uint8) AdmissionOption {
+	return func(a *Admission) {
+		if n < 1 {
+			n = 1
+		}
+		a.minHits = n
+	}
+}
+
+// NewAdmission wraps inner with a frequency-based admission filter.
+func NewAdmission(inner Policy, opts ...AdmissionOption) *Admission {
+	a := &Admission{
+		inner:   inner,
+		sketch:  newFreqSketch(1 << 14),
+		minHits: 2,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Name implements Policy.
+func (a *Admission) Name() string { return a.inner.Name() + "+admit" }
+
+// Get implements Policy.
+func (a *Admission) Get(key string) bool {
+	a.sketch.bump(key)
+	return a.inner.Get(key)
+}
+
+// Set implements Policy.
+func (a *Admission) Set(key string, size, cost int64) bool {
+	if !a.inner.Contains(key) && a.inner.Used()+size > a.inner.Capacity() {
+		if a.sketch.estimate(key) < a.minHits {
+			a.stats.Rejected++
+			return false
+		}
+	}
+	return a.inner.Set(key, size, cost)
+}
+
+// Delete implements Policy.
+func (a *Admission) Delete(key string) bool { return a.inner.Delete(key) }
+
+// Contains implements Policy.
+func (a *Admission) Contains(key string) bool { return a.inner.Contains(key) }
+
+// Peek implements Policy.
+func (a *Admission) Peek(key string) (Entry, bool) { return a.inner.Peek(key) }
+
+// Len implements Policy.
+func (a *Admission) Len() int { return a.inner.Len() }
+
+// Used implements Policy.
+func (a *Admission) Used() int64 { return a.inner.Used() }
+
+// Capacity implements Policy.
+func (a *Admission) Capacity() int64 { return a.inner.Capacity() }
+
+// Stats implements Policy: the inner policy's counters plus this filter's
+// rejections.
+func (a *Admission) Stats() Stats {
+	st := a.inner.Stats()
+	st.Rejected += a.stats.Rejected
+	return st
+}
+
+// SetEvictFunc implements Policy.
+func (a *Admission) SetEvictFunc(fn EvictFunc) { a.inner.SetEvictFunc(fn) }
+
+// freqSketch is a 4-row count-min sketch of 4-bit counters with periodic
+// halving, sized for ~width distinct hot keys.
+type freqSketch struct {
+	rows  [4][]uint8
+	seeds [4]maphash.Seed
+	mask  uint64
+	ops   int
+	reset int
+}
+
+func newFreqSketch(width int) *freqSketch {
+	if width&(width-1) != 0 {
+		panic("cache: sketch width must be a power of two")
+	}
+	s := &freqSketch{mask: uint64(width - 1), reset: width * 8}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, width)
+		s.seeds[i] = maphash.MakeSeed()
+	}
+	return s
+}
+
+func (s *freqSketch) bump(key string) {
+	for i := range s.rows {
+		idx := maphash.String(s.seeds[i], key) & s.mask
+		if s.rows[i][idx] < 15 {
+			s.rows[i][idx]++
+		}
+	}
+	s.ops++
+	if s.ops >= s.reset {
+		s.halve()
+		s.ops = 0
+	}
+}
+
+func (s *freqSketch) estimate(key string) uint8 {
+	min := uint8(255)
+	for i := range s.rows {
+		idx := maphash.String(s.seeds[i], key) & s.mask
+		if c := s.rows[i][idx]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// halve ages every counter so stale popularity decays.
+func (s *freqSketch) halve() {
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] >>= 1
+		}
+	}
+}

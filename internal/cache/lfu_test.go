@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestLFUBasic(t *testing.T) {
+	c := NewLFU(100)
+	if c.Get("x") {
+		t.Fatal("empty cache should miss")
+	}
+	c.Set("x", 10, 1)
+	if !c.Get("x") {
+		t.Fatal("expected hit")
+	}
+	if c.Name() != "lfu" || c.Used() != 10 || c.Len() != 1 || c.Capacity() != 100 {
+		t.Fatal("accessors broken")
+	}
+	if !c.Delete("x") || c.Delete("x") {
+		t.Fatal("Delete semantics broken")
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c := NewLFU(30)
+	c.Set("often", 10, 1)
+	c.Set("rare", 10, 1)
+	c.Set("mid", 10, 1)
+	for i := 0; i < 5; i++ {
+		c.Get("often")
+	}
+	c.Get("mid")
+	var evicted []string
+	c.SetEvictFunc(func(e Entry) { evicted = append(evicted, e.Key) })
+	c.Set("new", 10, 1)
+	if len(evicted) != 1 || evicted[0] != "rare" {
+		t.Fatalf("evicted %v, want [rare]", evicted)
+	}
+	c.Set("new2", 10, 1) // new has freq 1, mid has 2 -> evict new
+	if len(evicted) != 2 || evicted[1] != "new" {
+		t.Fatalf("evicted %v, want [rare new]", evicted)
+	}
+}
+
+func TestLFUTieBreaksByRecency(t *testing.T) {
+	c := NewLFU(20)
+	c.Set("a", 10, 1)
+	c.Set("b", 10, 1) // both freq 1; a older
+	var evicted []string
+	c.SetEvictFunc(func(e Entry) { evicted = append(evicted, e.Key) })
+	c.Set("c", 10, 1)
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evicted)
+	}
+}
+
+func TestLFUUpdateAndReject(t *testing.T) {
+	c := NewLFU(50)
+	if c.Set("big", 60, 1) {
+		t.Fatal("too-large item must be rejected")
+	}
+	c.Set("a", 10, 1)
+	if !c.Set("a", 30, 9) {
+		t.Fatal("update failed")
+	}
+	e, _ := c.Peek("a")
+	if e.Size != 30 || e.Cost != 9 {
+		t.Fatalf("Peek = %+v", e)
+	}
+	if c.Set("a", 60, 9) {
+		t.Fatal("oversized grow must fail")
+	}
+	if c.Contains("a") {
+		t.Fatal("entry must drop on failed grow")
+	}
+}
+
+func TestLFUStress(t *testing.T) {
+	c := NewLFU(500)
+	rng := rand.New(rand.NewSource(6))
+	for op := 0; op < 30000; op++ {
+		key := fmt.Sprintf("k%d", rng.Intn(70))
+		if rng.Intn(2) == 0 {
+			c.Get(key)
+		} else {
+			c.Set(key, int64(rng.Intn(50)+1), 1)
+		}
+		if c.Used() > c.Capacity() {
+			t.Fatalf("op %d: over capacity", op)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package cache
+
+import "camp/internal/ilist"
+
+// LRU is the classic least-recently-used policy over variable-sized items:
+// a single recency queue, evicting from the front (least recently used)
+// until the incoming item fits. It ignores cost entirely, which is exactly
+// the weakness CAMP addresses.
+type LRU struct {
+	capacity int64
+	used     int64
+	items    map[string]*ilist.Node[*lruEntry]
+	queue    *ilist.List[*lruEntry]
+	stats    Stats
+	onEvict  EvictFunc
+}
+
+type lruEntry struct {
+	key  string
+	size int64
+	cost int64
+}
+
+var _ Policy = (*LRU)(nil)
+
+// NewLRU returns an LRU policy with the given byte capacity.
+func NewLRU(capacity int64) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		items:    make(map[string]*ilist.Node[*lruEntry]),
+		queue:    ilist.New[*lruEntry](),
+	}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "lru" }
+
+// Get implements Policy.
+func (c *LRU) Get(key string) bool {
+	n, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.queue.MoveToBack(n)
+	c.stats.Hits++
+	return true
+}
+
+// Set implements Policy.
+func (c *LRU) Set(key string, size, cost int64) bool {
+	if size < 0 {
+		size = 0
+	}
+	if n, ok := c.items[key]; ok {
+		delta := size - n.Value.size
+		if delta > 0 && !c.makeRoomExcept(delta, key) {
+			// Cannot grow the entry; drop it instead of keeping a
+			// stale size.
+			c.removeNode(n)
+			c.stats.Rejected++
+			return false
+		}
+		c.used += delta
+		n.Value.size = size
+		n.Value.cost = cost
+		c.queue.MoveToBack(n)
+		c.stats.Updates++
+		return true
+	}
+	if size > c.capacity {
+		c.stats.Rejected++
+		return false
+	}
+	if !c.makeRoomExcept(size, "") {
+		c.stats.Rejected++
+		return false
+	}
+	e := &lruEntry{key: key, size: size, cost: cost}
+	c.items[key] = c.queue.PushBack(e)
+	c.used += size
+	c.stats.Sets++
+	return true
+}
+
+// Delete implements Policy.
+func (c *LRU) Delete(key string) bool {
+	n, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeNode(n)
+	return true
+}
+
+// Contains implements Policy.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Peek implements Policy.
+func (c *LRU) Peek(key string) (Entry, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Key: n.Value.key, Size: n.Value.size, Cost: n.Value.cost}, true
+}
+
+// Len implements Policy.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Used implements Policy.
+func (c *LRU) Used() int64 { return c.used }
+
+// Capacity implements Policy.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Stats implements Policy.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// SetEvictFunc implements Policy.
+func (c *LRU) SetEvictFunc(fn EvictFunc) { c.onEvict = fn }
+
+// EvictOne implements Evicter: it evicts the least recently used item.
+func (c *LRU) EvictOne() (Entry, bool) {
+	n := c.queue.Front()
+	if n == nil {
+		return Entry{}, false
+	}
+	e := Entry{Key: n.Value.key, Size: n.Value.size, Cost: n.Value.cost}
+	c.evictNode(n)
+	return e, true
+}
+
+// Victim returns the key next in line for eviction, for tests.
+func (c *LRU) Victim() (string, bool) {
+	if n := c.queue.Front(); n != nil {
+		return n.Value.key, true
+	}
+	return "", false
+}
+
+// Keys returns resident keys from least to most recently used, for tests.
+func (c *LRU) Keys() []string {
+	out := make([]string, 0, len(c.items))
+	for n := c.queue.Front(); n != nil; n = n.Next() {
+		out = append(out, n.Value.key)
+	}
+	return out
+}
+
+// makeRoomExcept evicts least-recently-used items until need bytes fit,
+// never evicting skip (used when growing an existing entry).
+func (c *LRU) makeRoomExcept(need int64, skip string) bool {
+	for c.used+need > c.capacity {
+		n := c.queue.Front()
+		if n == nil {
+			return false
+		}
+		if n.Value.key == skip {
+			// skip is the only remaining entry; it cannot make
+			// room for itself.
+			if c.queue.Len() == 1 {
+				return false
+			}
+			n = n.Next()
+			if n == nil {
+				return false
+			}
+		}
+		c.evictNode(n)
+	}
+	return true
+}
+
+func (c *LRU) evictNode(n *ilist.Node[*lruEntry]) {
+	e := n.Value
+	c.removeNode(n)
+	c.stats.Evictions++
+	c.stats.EvictedBytes += uint64(e.size)
+	if c.onEvict != nil {
+		c.onEvict(Entry{Key: e.key, Size: e.size, Cost: e.cost})
+	}
+}
+
+func (c *LRU) removeNode(n *ilist.Node[*lruEntry]) {
+	c.queue.Remove(n)
+	delete(c.items, n.Value.key)
+	c.used -= n.Value.size
+}

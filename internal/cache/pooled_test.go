@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPooledConstructionErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		specs []PoolSpec
+	}{
+		{name: "no pools", specs: nil},
+		{name: "zero weight", specs: []PoolSpec{{Name: "a", Weight: 0}}},
+		{name: "negative weight", specs: []PoolSpec{{Name: "a", Weight: -1}}},
+		{name: "empty range", specs: []PoolSpec{{Name: "a", MinCost: 10, MaxCost: 10, Weight: 1}}},
+		{name: "inverted range", specs: []PoolSpec{{Name: "a", MinCost: 10, MaxCost: 5, Weight: 1}}},
+		{
+			name: "overlap",
+			specs: []PoolSpec{
+				{Name: "a", MinCost: 0, MaxCost: 100, Weight: 1},
+				{Name: "b", MinCost: 50, MaxCost: 200, Weight: 1},
+			},
+		},
+		{
+			name: "unbounded first overlaps",
+			specs: []PoolSpec{
+				{Name: "a", MinCost: 0, MaxCost: 0, Weight: 1},
+				{Name: "b", MinCost: 50, MaxCost: 200, Weight: 1},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPooled(1000, tt.specs); err == nil {
+				t.Fatal("expected construction error")
+			}
+		})
+	}
+}
+
+func TestPooledCapacitySplit(t *testing.T) {
+	p, err := NewPooledByCostValues(10101, []int64{1, 100, 10000}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := p.Pools()
+	if len(pools) != 3 {
+		t.Fatalf("got %d pools, want 3", len(pools))
+	}
+	var total int64
+	for _, pi := range pools {
+		total += pi.Capacity
+	}
+	if total != 10101 {
+		t.Fatalf("pool capacities sum to %d, want full capacity 10101", total)
+	}
+	// Cost-proportional: the expensive pool gets ~99% of memory (§3.1).
+	if frac := float64(pools[2].Capacity) / 10101; frac < 0.98 {
+		t.Fatalf("expensive pool has %.2f of memory, want ~0.99", frac)
+	}
+}
+
+func TestPooledUniformSplit(t *testing.T) {
+	p, err := NewPooledByCostValues(3000, []int64{1, 100, 10000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pi := range p.Pools() {
+		if pi.Capacity != 1000 {
+			t.Fatalf("pool %d capacity = %d, want 1000", i, pi.Capacity)
+		}
+	}
+}
+
+func TestPooledRouting(t *testing.T) {
+	p, err := NewPooledByCostValues(3000, []int64{1, 100, 10000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type route struct {
+		cost int64
+		pool int
+	}
+	routes := []route{
+		{cost: 0, pool: 0},   // below all -> cheapest
+		{cost: 1, pool: 0},   // exact
+		{cost: 50, pool: 0},  // gap -> pool below
+		{cost: 100, pool: 1}, // exact
+		{cost: 9999, pool: 1},
+		{cost: 10000, pool: 2},
+		{cost: 1 << 40, pool: 2}, // unbounded top
+	}
+	for i, r := range routes {
+		key := fmt.Sprintf("k%d", i)
+		if !p.Set(key, 10, r.cost) {
+			t.Fatalf("Set(%s cost=%d) failed", key, r.cost)
+		}
+	}
+	pools := p.Pools()
+	wantItems := []int{3, 2, 2}
+	for i, w := range wantItems {
+		if pools[i].Items != w {
+			t.Fatalf("pool %d has %d items, want %d", i, pools[i].Items, w)
+		}
+	}
+}
+
+// TestPooledIsolation shows the defining property of pooling: churn in the
+// cheap pool cannot evict expensive items (and vice versa).
+func TestPooledIsolation(t *testing.T) {
+	p, err := NewPooledByCostValues(2000, []int64{1, 10000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Set("gold", 500, 10000)
+	// Flood the cheap pool far beyond its 1000-byte share.
+	for i := 0; i < 100; i++ {
+		p.Set(fmt.Sprintf("cheap%d", i), 100, 1)
+	}
+	if !p.Contains("gold") {
+		t.Fatal("cheap churn must not evict items in the expensive pool")
+	}
+	// The cheap pool holds at most its own share.
+	if used := p.Pools()[0].Used; used > 1000 {
+		t.Fatalf("cheap pool used %d bytes, exceeding its 1000-byte share", used)
+	}
+}
+
+// TestPooledCannotRebalance shows the §1 limitation CAMP removes: when the
+// workload shifts entirely to cheap items, the expensive pool's memory is
+// stranded.
+func TestPooledCannotRebalance(t *testing.T) {
+	p, err := NewPooledByCostValues(2000, []int64{1, 10000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workload now consists only of cheap items.
+	for i := 0; i < 50; i++ {
+		p.Set(fmt.Sprintf("c%d", i), 100, 1)
+	}
+	if p.Used() > 1000 {
+		t.Fatalf("pooled policy used %d bytes; the expensive pool's 1000 bytes should be stranded", p.Used())
+	}
+	if p.Len() != 10 { // 1000 bytes / 100 each
+		t.Fatalf("Len = %d, want 10", p.Len())
+	}
+}
+
+func TestPooledCostChangeMovesPools(t *testing.T) {
+	p, err := NewPooledByCostValues(2000, []int64{1, 10000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Set("k", 100, 1)
+	if p.Pools()[0].Items != 1 {
+		t.Fatal("k should start in the cheap pool")
+	}
+	p.Set("k", 100, 10000)
+	pools := p.Pools()
+	if pools[0].Items != 0 || pools[1].Items != 1 {
+		t.Fatalf("k should have moved pools: %+v", pools)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestPooledGetDeletePeek(t *testing.T) {
+	p, err := NewPooledByRanges(3000, []int64{1, 100, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Get("nope") {
+		t.Fatal("miss expected")
+	}
+	p.Set("a", 10, 500)
+	if !p.Get("a") {
+		t.Fatal("hit expected")
+	}
+	e, ok := p.Peek("a")
+	if !ok || e.Cost != 500 || e.Size != 10 {
+		t.Fatalf("Peek = %+v", e)
+	}
+	if !p.Delete("a") || p.Delete("a") {
+		t.Fatal("Delete semantics broken")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Sets != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPooledEvictionCallbackAndStats(t *testing.T) {
+	p, err := NewPooledByCostValues(200, []int64{1, 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evicted []string
+	p.SetEvictFunc(func(e Entry) { evicted = append(evicted, e.Key) })
+	p.Set("a", 100, 1) // fills the cheap pool (100 bytes)
+	p.Set("b", 100, 1) // evicts a
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evicted)
+	}
+	if p.Stats().Evictions != 1 || p.Stats().EvictedBytes != 100 {
+		t.Fatalf("stats = %+v", p.Stats())
+	}
+	if p.Contains("a") {
+		t.Fatal("a must be gone from the outer index too")
+	}
+}
+
+func TestPooledRejectTooLargeForPool(t *testing.T) {
+	p, err := NewPooledByCostValues(200, []int64{1, 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 150 bytes exceeds the cheap pool's 100-byte share even though the
+	// total capacity is 200.
+	if p.Set("big", 150, 1) {
+		t.Fatal("item larger than its pool must be rejected")
+	}
+	if p.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", p.Stats().Rejected)
+	}
+}
+
+func TestPooledByRangesWeights(t *testing.T) {
+	p, err := NewPooledByRanges(10101, []int64{1, 100, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := p.Pools()
+	// Weights 1 : 100 : 10000 over capacity 10101.
+	if pools[0].Capacity != 1 || pools[1].Capacity != 100 {
+		t.Fatalf("range pool capacities = %d,%d want 1,100", pools[0].Capacity, pools[1].Capacity)
+	}
+	if pools[2].Capacity != 10000 {
+		t.Fatalf("top pool capacity = %d, want 10000", pools[2].Capacity)
+	}
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// Sharded makes any Policy safe for concurrent use by hash-partitioning
+// keys across independently locked shards — the §4.1 vertical-scaling
+// recipe ("CAMP may represent each LRU queue as multiple physical queues
+// and hash partition keys across these"). Capacity is split evenly across
+// shards, so per-shard eviction decisions are local; with a reasonable
+// shard count the quality loss is negligible while lock contention drops
+// by the shard factor.
+type Sharded struct {
+	shards []shardedSlot
+	seed   maphash.Seed
+	mask   uint64
+	name   string
+}
+
+type shardedSlot struct {
+	mu     sync.Mutex
+	policy Policy
+}
+
+var _ Policy = (*Sharded)(nil)
+
+// NewSharded builds a Sharded policy with n shards (a power of two), using
+// mk to construct each shard's inner policy with its share of capacity.
+func NewSharded(capacity int64, n int, mk func(capacity int64) Policy) (*Sharded, error) {
+	if n < 1 || n > 4096 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("cache: shard count %d must be a power of two in [1, 4096]", n)
+	}
+	s := &Sharded{
+		shards: make([]shardedSlot, n),
+		seed:   maphash.MakeSeed(),
+		mask:   uint64(n - 1),
+	}
+	per := capacity / int64(n)
+	rem := capacity % int64(n)
+	for i := range s.shards {
+		c := per
+		if i == 0 {
+			c += rem
+		}
+		s.shards[i].policy = mk(c)
+	}
+	s.name = "sharded-" + s.shards[0].policy.Name()
+	return s, nil
+}
+
+func (s *Sharded) shardFor(key string) *shardedSlot {
+	if len(s.shards) == 1 {
+		return &s.shards[0]
+	}
+	return &s.shards[maphash.String(s.seed, key)&s.mask]
+}
+
+// Name implements Policy.
+func (s *Sharded) Name() string { return s.name }
+
+// Get implements Policy.
+func (s *Sharded) Get(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.policy.Get(key)
+}
+
+// Set implements Policy.
+func (s *Sharded) Set(key string, size, cost int64) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.policy.Set(key, size, cost)
+}
+
+// Delete implements Policy.
+func (s *Sharded) Delete(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.policy.Delete(key)
+}
+
+// Contains implements Policy.
+func (s *Sharded) Contains(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.policy.Contains(key)
+}
+
+// Peek implements Policy.
+func (s *Sharded) Peek(key string) (Entry, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.policy.Peek(key)
+}
+
+// Len implements Policy.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += s.shards[i].policy.Len()
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Used implements Policy.
+func (s *Sharded) Used() int64 {
+	var u int64
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		u += s.shards[i].policy.Used()
+		s.shards[i].mu.Unlock()
+	}
+	return u
+}
+
+// Capacity implements Policy.
+func (s *Sharded) Capacity() int64 {
+	var c int64
+	for i := range s.shards {
+		c += s.shards[i].policy.Capacity()
+	}
+	return c
+}
+
+// Stats implements Policy.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		st := s.shards[i].policy.Stats()
+		s.shards[i].mu.Unlock()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Sets += st.Sets
+		out.Updates += st.Updates
+		out.Evictions += st.Evictions
+		out.EvictedBytes += st.EvictedBytes
+		out.Rejected += st.Rejected
+	}
+	return out
+}
+
+// SetEvictFunc implements Policy. The callback may fire concurrently from
+// different shards; it must be safe for concurrent use.
+func (s *Sharded) SetEvictFunc(fn EvictFunc) {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].policy.SetEvictFunc(fn)
+		s.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestShardedValidation(t *testing.T) {
+	mk := func(c int64) Policy { return NewLRU(c) }
+	for _, n := range []int{0, 3, 8192} {
+		if _, err := NewSharded(100, n, mk); err == nil {
+			t.Fatalf("shards=%d should error", n)
+		}
+	}
+}
+
+func TestShardedBasic(t *testing.T) {
+	s, err := NewSharded(1000, 4, func(c int64) Policy { return NewLRU(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sharded-lru" {
+		t.Fatalf("Name = %s", s.Name())
+	}
+	if s.Capacity() != 1000 {
+		t.Fatalf("Capacity = %d (shares must sum)", s.Capacity())
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if !s.Set(key, 4, 1) {
+			t.Fatalf("Set %s failed", key)
+		}
+	}
+	if s.Len() != 50 || s.Used() != 200 {
+		t.Fatalf("Len=%d Used=%d", s.Len(), s.Used())
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if !s.Get(key) || !s.Contains(key) {
+			t.Fatalf("lost key %s", key)
+		}
+		if e, ok := s.Peek(key); !ok || e.Size != 4 {
+			t.Fatalf("Peek %s = %+v", key, e)
+		}
+	}
+	if !s.Delete("k0") || s.Delete("k0") {
+		t.Fatal("Delete semantics broken")
+	}
+	st := s.Stats()
+	if st.Hits != 50 || st.Sets != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShardedEvictionCallback(t *testing.T) {
+	s, err := NewSharded(64, 2, func(c int64) Policy { return NewLRU(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var evictions int
+	s.SetEvictFunc(func(Entry) {
+		mu.Lock()
+		evictions++
+		mu.Unlock()
+	})
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("k%d", i), 8, 1)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+}
+
+// TestShardedConcurrent validates the locking under -race.
+func TestShardedConcurrent(t *testing.T) {
+	s, err := NewSharded(4096, 8, func(c int64) Policy { return NewCampLike(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < 5000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(300))
+				switch rng.Intn(4) {
+				case 0:
+					s.Set(key, int64(rng.Intn(30)+1), int64(rng.Intn(100)))
+				case 1:
+					s.Delete(key)
+				default:
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Used() > s.Capacity() {
+		t.Fatal("over capacity")
+	}
+}
+
+// NewCampLike avoids an import cycle: internal/cache cannot import
+// internal/core, so concurrency is exercised with LRU here; the public camp
+// package covers CAMP under concurrency.
+func NewCampLike(c int64) Policy { return NewLRU(c) }

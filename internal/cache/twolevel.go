@@ -1,0 +1,143 @@
+package cache
+
+// TwoLevel composes a small, fast L1 with a larger, slower L2, prototyping
+// the paper's §6 future-work direction of a hierarchical cache (memory over
+// SSD/disk) that persists costly items: L1 evictions are demoted into L2
+// rather than discarded, and an L2 hit can promote the item back.
+//
+// TwoLevel implements Policy, so it drops into the simulator; L1Hits and
+// L2Hits let callers weigh the two hit classes differently (an L2 "hit"
+// would still pay an SSD read in a real deployment).
+type TwoLevel struct {
+	l1, l2  Policy
+	promote bool
+
+	l1Hits, l2Hits uint64
+	stats          Stats
+	onEvict        EvictFunc
+}
+
+var _ Policy = (*TwoLevel)(nil)
+
+// TwoLevelOption configures NewTwoLevel.
+type TwoLevelOption func(*TwoLevel)
+
+// WithPromotion controls whether an L2 hit moves the item back into L1
+// (default true).
+func WithPromotion(on bool) TwoLevelOption {
+	return func(t *TwoLevel) { t.promote = on }
+}
+
+// NewTwoLevel builds a hierarchical cache from two policies. Ownership of
+// both policies passes to the TwoLevel; their eviction callbacks are
+// replaced.
+func NewTwoLevel(l1, l2 Policy, opts ...TwoLevelOption) *TwoLevel {
+	t := &TwoLevel{l1: l1, l2: l2, promote: true}
+	for _, o := range opts {
+		o(t)
+	}
+	// L1 victims demote into L2 (the §6 "persist costly items" path).
+	l1.SetEvictFunc(func(e Entry) {
+		t.l2.Set(e.Key, e.Size, e.Cost)
+	})
+	// L2 victims leave the hierarchy.
+	l2.SetEvictFunc(func(e Entry) {
+		t.stats.Evictions++
+		t.stats.EvictedBytes += uint64(e.Size)
+		if t.onEvict != nil {
+			t.onEvict(e)
+		}
+	})
+	return t
+}
+
+// Name implements Policy.
+func (t *TwoLevel) Name() string { return t.l1.Name() + "/" + t.l2.Name() }
+
+// Get implements Policy. An L1 hit refreshes L1; an L2 hit optionally
+// promotes the item to L1 (demoting an L1 victim into L2 in turn).
+func (t *TwoLevel) Get(key string) bool {
+	if t.l1.Get(key) {
+		t.l1Hits++
+		t.stats.Hits++
+		return true
+	}
+	if !t.l2.Get(key) {
+		t.stats.Misses++
+		return false
+	}
+	t.l2Hits++
+	t.stats.Hits++
+	if t.promote {
+		if e, ok := t.l2.Peek(key); ok {
+			t.l2.Delete(key)
+			if !t.l1.Set(e.Key, e.Size, e.Cost) {
+				// Too large for L1: keep it in L2.
+				t.l2.Set(e.Key, e.Size, e.Cost)
+			}
+		}
+	}
+	return true
+}
+
+// Set implements Policy: new data lands in L1; L1's evictions cascade into
+// L2 via the demotion hook.
+func (t *TwoLevel) Set(key string, size, cost int64) bool {
+	// Avoid duplicates across levels.
+	t.l2.Delete(key)
+	if t.l1.Set(key, size, cost) {
+		t.stats.Sets++
+		return true
+	}
+	// Too large for L1 alone: try L2 directly (e.g. a huge object that
+	// still fits the bigger level).
+	if t.l2.Set(key, size, cost) {
+		t.stats.Sets++
+		return true
+	}
+	t.stats.Rejected++
+	return false
+}
+
+// Delete implements Policy.
+func (t *TwoLevel) Delete(key string) bool {
+	a := t.l1.Delete(key)
+	b := t.l2.Delete(key)
+	return a || b
+}
+
+// Contains implements Policy.
+func (t *TwoLevel) Contains(key string) bool {
+	return t.l1.Contains(key) || t.l2.Contains(key)
+}
+
+// Peek implements Policy.
+func (t *TwoLevel) Peek(key string) (Entry, bool) {
+	if e, ok := t.l1.Peek(key); ok {
+		return e, true
+	}
+	return t.l2.Peek(key)
+}
+
+// Len implements Policy.
+func (t *TwoLevel) Len() int { return t.l1.Len() + t.l2.Len() }
+
+// Used implements Policy.
+func (t *TwoLevel) Used() int64 { return t.l1.Used() + t.l2.Used() }
+
+// Capacity implements Policy.
+func (t *TwoLevel) Capacity() int64 { return t.l1.Capacity() + t.l2.Capacity() }
+
+// Stats implements Policy. Hits counts both levels; see L1Hits/L2Hits for
+// the split. Evictions count only items leaving the hierarchy.
+func (t *TwoLevel) Stats() Stats { return t.stats }
+
+// L1Hits returns hits served by the first level.
+func (t *TwoLevel) L1Hits() uint64 { return t.l1Hits }
+
+// L2Hits returns hits served by the second level.
+func (t *TwoLevel) L2Hits() uint64 { return t.l2Hits }
+
+// SetEvictFunc implements Policy; the callback fires only when an item
+// leaves both levels.
+func (t *TwoLevel) SetEvictFunc(fn EvictFunc) { t.onEvict = fn }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestClassicLUpdateInvariants: the classic (evicted-H) L rule preserves
+// every structural invariant, including Proposition 1.
+func TestClassicLUpdateInvariants(t *testing.T) {
+	c := NewCamp(500, WithClassicLUpdate())
+	rng := rand.New(rand.NewSource(61))
+	costs := []int64{0, 1, 100, 10000}
+	prevL := c.L()
+	for op := 0; op < 30000; op++ {
+		key := fmt.Sprintf("k%d", rng.Intn(60))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			c.Get(key)
+		case 6, 7, 8:
+			c.Set(key, int64(rng.Intn(60)+1), costs[rng.Intn(len(costs))])
+		default:
+			c.Delete(key)
+		}
+		if l := c.L(); l < prevL {
+			t.Fatalf("op %d: L decreased %d -> %d", op, prevL, l)
+		} else {
+			prevL = l
+		}
+		if op%199 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+}
+
+// TestLUpdateRulesComparable: the two L-update rules produce cost-miss
+// ratios in the same ballpark on a skewed trace — the rule is a constant-
+// factor detail, not a behavioral fork.
+func TestLUpdateRulesComparable(t *testing.T) {
+	run := func(opts ...Option) float64 {
+		c := NewCamp(4000, opts...)
+		rng := rand.New(rand.NewSource(88))
+		costs := []int64{1, 100, 10000}
+		type meta struct{ size, cost int64 }
+		metas := map[string]meta{}
+		seen := map[string]bool{}
+		var missCost, totalCost int64
+		for i := 0; i < 60000; i++ {
+			var key string
+			if rng.Float64() < 0.7 {
+				key = fmt.Sprintf("h%d", rng.Intn(60))
+			} else {
+				key = fmt.Sprintf("c%d", rng.Intn(240))
+			}
+			m, ok := metas[key]
+			if !ok {
+				m = meta{size: int64(rng.Intn(90) + 10), cost: costs[rng.Intn(3)]}
+				metas[key] = m
+			}
+			hit := c.Get(key)
+			if !hit {
+				c.Set(key, m.size, m.cost)
+			}
+			if seen[key] {
+				totalCost += m.cost
+				if !hit {
+					missCost += m.cost
+				}
+			}
+			seen[key] = true
+		}
+		return float64(missCost) / float64(totalCost)
+	}
+	paper := run()
+	classic := run(WithClassicLUpdate())
+	diff := paper - classic
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.1 {
+		t.Fatalf("L-update rules diverge too much: paper=%.4f classic=%.4f", paper, classic)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"camp/internal/cache"
+	"camp/internal/nheap"
+)
+
+// GDS is the Greedy-Dual-Size algorithm of Cao and Irani (USITS'97),
+// implemented exactly as Algorithm 1 in the paper: every resident item sits
+// in one priority queue keyed by H(p) = L + cost(p)/size(p), the minimum-H
+// item is evicted, and L rises to the minimum H of the remaining items after
+// each eviction (line 6) and to the minimum H among the other items on each
+// hit (line 2).
+//
+// The heap holds every resident item, so each hit and each eviction performs
+// an O(log n) heap update — the overhead CAMP eliminates. The heap counts
+// visited nodes for the Figure 4 comparison.
+type GDS struct {
+	capacity int64
+	used     int64
+
+	items map[string]*gdsEntry
+	heap  *nheap.Heap[*gdsEntry]
+
+	l   float64 // the global offset L
+	seq uint64  // FIFO tie-break counter
+
+	stats          cache.Stats
+	onEvict        cache.EvictFunc
+	heapUpdates    uint64
+	textbookDelete bool
+}
+
+type gdsEntry struct {
+	key     string
+	size    int64
+	cost    int64
+	h       float64
+	seq     uint64 // FIFO tie-break for determinism
+	heapIdx int
+}
+
+var _ cache.Policy = (*GDS)(nil)
+var _ cache.HeapVisitor = (*GDS)(nil)
+
+// GDSOption configures a GDS policy.
+type GDSOption func(*GDS)
+
+// WithGDSHeapArity overrides the branching factor of the item heap
+// (default 8, matching CAMP's heap for a fair Figure 4 comparison).
+func WithGDSHeapArity(d int) GDSOption {
+	return func(g *GDS) { g.heap = newGDSHeap(d) }
+}
+
+// WithTextbookDelete switches heap deletions to the classical
+// bubble-to-root-then-pop method, which pays the full heap depth on every
+// hit. This mode reproduces the rising GDS curve of Figure 4; the default
+// replace-with-last deletion is cheaper and flattens that curve (see
+// EXPERIMENTS.md).
+func WithTextbookDelete() GDSOption {
+	return func(g *GDS) { g.textbookDelete = true }
+}
+
+// NewGDS returns a GDS policy with the given byte capacity.
+func NewGDS(capacity int64, opts ...GDSOption) *GDS {
+	if capacity < 0 {
+		capacity = 0
+	}
+	g := &GDS{
+		capacity: capacity,
+		items:    make(map[string]*gdsEntry),
+		heap:     newGDSHeap(nheap.DefaultArity),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+func newGDSHeap(arity int) *nheap.Heap[*gdsEntry] {
+	return nheap.New(
+		func(a, b *gdsEntry) bool {
+			if a.h != b.h {
+				return a.h < b.h
+			}
+			return a.seq < b.seq
+		},
+		nheap.WithArity[*gdsEntry](arity),
+		nheap.WithIndexTracking(func(e *gdsEntry, i int) { e.heapIdx = i }),
+	)
+}
+
+// Name implements cache.Policy.
+func (g *GDS) Name() string { return "gds" }
+
+// L returns the current value of the global offset, for tests.
+func (g *GDS) L() float64 { return g.l }
+
+// Get implements cache.Policy.
+func (g *GDS) Get(key string) bool {
+	e, ok := g.items[key]
+	if !ok {
+		g.stats.Misses++
+		return false
+	}
+	// Algorithm 1, line 2: L <- min over M \ {e}. Temporarily removing e
+	// makes the heap minimum exactly that quantity.
+	g.removeFromHeap(e)
+	g.heapUpdates++
+	if top, ok := g.heap.Peek(); ok && top.h > g.l {
+		g.l = top.h
+	}
+	e.h = g.l + ratio(e.cost, e.size)
+	e.seq = g.nextSeq()
+	g.heap.Push(e)
+	g.heapUpdates++
+	g.stats.Hits++
+	return true
+}
+
+// Set implements cache.Policy.
+func (g *GDS) Set(key string, size, cost int64) bool {
+	if size < 0 {
+		size = 0
+	}
+	if e, ok := g.items[key]; ok {
+		g.removeEntry(e)
+		if !g.admit(key, size, cost) {
+			g.stats.Rejected++
+			return false
+		}
+		g.stats.Updates++
+		return true
+	}
+	if !g.admit(key, size, cost) {
+		g.stats.Rejected++
+		return false
+	}
+	g.stats.Sets++
+	return true
+}
+
+func (g *GDS) admit(key string, size, cost int64) bool {
+	if size > g.capacity {
+		return false
+	}
+	// Algorithm 1, lines 4-6.
+	for g.used+size > g.capacity {
+		if !g.evictOne() {
+			return false
+		}
+	}
+	// Lines 7-8.
+	e := &gdsEntry{
+		key:     key,
+		size:    size,
+		cost:    cost,
+		h:       g.l + ratio(cost, size),
+		seq:     g.nextSeq(),
+		heapIdx: -1,
+	}
+	g.heap.Push(e)
+	g.heapUpdates++
+	g.items[key] = e
+	g.used += size
+	return true
+}
+
+func (g *GDS) evictOne() bool {
+	_, ok := g.EvictOne()
+	return ok
+}
+
+// EvictOne implements cache.Evicter: it pops the minimum-H item and lifts L
+// to the minimum of the remaining items (Algorithm 1, lines 5-6).
+func (g *GDS) EvictOne() (cache.Entry, bool) {
+	if g.heap.Len() == 0 {
+		return cache.Entry{}, false
+	}
+	victim := g.heap.Pop()
+	g.heapUpdates++
+	delete(g.items, victim.key)
+	g.used -= victim.size
+	victim.heapIdx = -1
+	// Line 6: L <- min over the remaining items.
+	if top, ok := g.heap.Peek(); ok && top.h > g.l {
+		g.l = top.h
+	}
+	g.stats.Evictions++
+	g.stats.EvictedBytes += uint64(victim.size)
+	e := cache.Entry{Key: victim.key, Size: victim.size, Cost: victim.cost}
+	if g.onEvict != nil {
+		g.onEvict(e)
+	}
+	return e, true
+}
+
+// Delete implements cache.Policy.
+func (g *GDS) Delete(key string) bool {
+	e, ok := g.items[key]
+	if !ok {
+		return false
+	}
+	g.removeEntry(e)
+	return true
+}
+
+func (g *GDS) removeEntry(e *gdsEntry) {
+	g.removeFromHeap(e)
+	g.heapUpdates++
+	delete(g.items, e.key)
+	g.used -= e.size
+}
+
+func (g *GDS) removeFromHeap(e *gdsEntry) {
+	if g.textbookDelete {
+		g.heap.RemoveViaRoot(e.heapIdx)
+		return
+	}
+	g.heap.Remove(e.heapIdx)
+}
+
+// Contains implements cache.Policy.
+func (g *GDS) Contains(key string) bool {
+	_, ok := g.items[key]
+	return ok
+}
+
+// Peek implements cache.Policy.
+func (g *GDS) Peek(key string) (cache.Entry, bool) {
+	e, ok := g.items[key]
+	if !ok {
+		return cache.Entry{}, false
+	}
+	return cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}, true
+}
+
+// Len implements cache.Policy.
+func (g *GDS) Len() int { return len(g.items) }
+
+// Used implements cache.Policy.
+func (g *GDS) Used() int64 { return g.used }
+
+// Capacity implements cache.Policy.
+func (g *GDS) Capacity() int64 { return g.capacity }
+
+// Stats implements cache.Policy.
+func (g *GDS) Stats() cache.Stats { return g.stats }
+
+// SetEvictFunc implements cache.Policy.
+func (g *GDS) SetEvictFunc(fn cache.EvictFunc) { g.onEvict = fn }
+
+// HeapVisits implements cache.HeapVisitor.
+func (g *GDS) HeapVisits() uint64 { return g.heap.Visits() }
+
+// ResetHeapVisits implements cache.HeapVisitor.
+func (g *GDS) ResetHeapVisits() { g.heap.ResetVisits() }
+
+// HeapUpdates returns the number of structural heap operations performed.
+func (g *GDS) HeapUpdates() uint64 { return g.heapUpdates }
+
+// CheckInvariants validates internal consistency, for tests.
+func (g *GDS) CheckInvariants() error {
+	if g.heap.Len() != len(g.items) {
+		return fmt.Errorf("heap has %d items, map has %d", g.heap.Len(), len(g.items))
+	}
+	var bytes int64
+	for key, e := range g.items {
+		if e.key != key {
+			return fmt.Errorf("entry registered under %q has key %q", key, e.key)
+		}
+		if e.heapIdx < 0 || e.heapIdx >= g.heap.Len() || g.heap.Items()[e.heapIdx] != e {
+			return fmt.Errorf("entry %q heapIdx %d is stale", key, e.heapIdx)
+		}
+		if e.h < g.l {
+			return fmt.Errorf("entry %q has H=%v below L=%v", key, e.h, g.l)
+		}
+		if e.h > g.l+ratio(e.cost, e.size)+1e-9 {
+			return fmt.Errorf("entry %q has H=%v above L+ratio=%v", key, e.h, g.l+ratio(e.cost, e.size))
+		}
+		bytes += e.size
+	}
+	if bytes != g.used {
+		return fmt.Errorf("accounted %d bytes, used=%d", bytes, g.used)
+	}
+	if g.used > g.capacity {
+		return fmt.Errorf("used %d exceeds capacity %d", g.used, g.capacity)
+	}
+	if bad := g.heap.Verify(); bad != -1 {
+		return fmt.Errorf("heap invariant violated at slot %d", bad)
+	}
+	return nil
+}
+
+func (g *GDS) nextSeq() uint64 {
+	g.seq++
+	return g.seq
+}
+
+func ratio(cost, size int64) float64 {
+	if cost <= 0 {
+		return 0
+	}
+	if size < 1 {
+		size = 1
+	}
+	return float64(cost) / float64(size)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"camp/internal/rounding"
+)
+
+// TestQuickBucketMonotone: for a fixed size, a higher cost never maps to a
+// lower queue bucket — CAMP's rounding preserves the cost order.
+func TestQuickBucketMonotone(t *testing.T) {
+	f := func(c1, c2 uint32, sz uint16, p uint8) bool {
+		prec := uint(p%8) + 1
+		size := int64(sz%1000) + 1
+		camp := NewCamp(1<<40, WithPrecision(prec))
+		// Fix the converter's max size first so both conversions use
+		// the same multiplier.
+		camp.conv.Observe(size)
+		lo, hi := int64(c1%1e6), int64(c2%1e6)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		b1 := camp.bucketFor(lo, size)
+		b2 := camp.bucketFor(hi, size)
+		return b1 <= b2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCampOpSequences drives CAMP with quick-generated operation
+// sequences and validates the structural invariants after each batch.
+func TestQuickCampOpSequences(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Size uint16
+		Cost uint32
+	}
+	f := func(ops []op, precision uint8) bool {
+		c := NewCamp(2000, WithPrecision(uint(precision%9)))
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%40)
+			switch o.Kind % 3 {
+			case 0:
+				c.Get(key)
+			case 1:
+				c.Set(key, int64(o.Size%300), int64(o.Cost%100000))
+			case 2:
+				c.Delete(key)
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGDSNeverExceedsCapacity: GDS under arbitrary op sequences keeps
+// its accounting invariants.
+func TestQuickGDSOpSequences(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Size uint16
+		Cost uint32
+	}
+	f := func(ops []op) bool {
+		g := NewGDS(2000)
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%40)
+			switch o.Kind % 3 {
+			case 0:
+				g.Get(key)
+			case 1:
+				g.Set(key, int64(o.Size%300), int64(o.Cost%100000))
+			case 2:
+				g.Delete(key)
+			}
+		}
+		return g.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrecisionDominance: on identical inputs, queue counts never
+// decrease with precision (finer rounding -> at least as many buckets).
+func TestQuickPrecisionDominance(t *testing.T) {
+	f := func(costs []uint32) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		counts := make([]int, 0, 3)
+		for _, p := range []uint{1, 4, rounding.PrecisionInf} {
+			c := NewCamp(1<<40, WithPrecision(p))
+			for i, cost := range costs {
+				c.Set(fmt.Sprintf("k%d", i), 10, int64(cost%1000000))
+			}
+			counts = append(counts, c.QueueCount())
+		}
+		// PrecisionInf (index 2) dominates p=4 dominates p=1.
+		return counts[0] <= counts[1] && counts[1] <= counts[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package figures
+
+import "testing"
+
+func TestBaselines(t *testing.T) {
+	tb := Baselines(tiny())
+	checkTable(t, tb, 3, 8)
+	ratiosInUnitRange(t, tb)
+	idx := map[string]int{}
+	for i, s := range tb.Series {
+		idx[s] = i
+	}
+	for _, r := range tb.Rows {
+		lru := r.Y[idx["lru"]]
+		camp := r.Y[idx["camp(p=5)"]]
+		gds := r.Y[idx["gds"]]
+		wheel := r.Y[idx["gdwheel"]]
+		// The cost-aware family beats LRU at every ratio.
+		if camp >= lru || gds >= lru || wheel >= lru {
+			t.Errorf("ratio %v: cost-aware policies should beat LRU: camp=%.4f gds=%.4f wheel=%.4f lru=%.4f",
+				r.X, camp, gds, wheel, lru)
+		}
+		// CAMP tracks GDS closely.
+		diff := camp - gds
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05 {
+			t.Errorf("ratio %v: CAMP %.4f far from GDS %.4f", r.X, camp, gds)
+		}
+		// The cost-oblivious adaptives stay near LRU, far from CAMP.
+		for _, name := range []string{"arc", "2q", "lfu"} {
+			v := r.Y[idx[name]]
+			if v < (camp+lru)/2 && lru > 0.3 {
+				t.Errorf("ratio %v: %s=%.4f suspiciously close to CAMP — cost-obliviousness check failed",
+					r.X, name, v)
+			}
+		}
+	}
+}
+
+func TestRDBMS(t *testing.T) {
+	tb := RDBMS(tiny())
+	checkTable(t, tb, 3, 3)
+	ratiosInUnitRange(t, tb)
+	for _, r := range tb.Rows {
+		lru, camp, gds := r.Y[0], r.Y[1], r.Y[2]
+		// CAMP should not lose to LRU under measured-latency costs.
+		if camp > lru+0.01 {
+			t.Errorf("ratio %v: CAMP %.4f above LRU %.4f", r.X, camp, lru)
+		}
+		diff := camp - gds
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05 {
+			t.Errorf("ratio %v: CAMP %.4f far from GDS %.4f", r.X, camp, gds)
+		}
+	}
+}

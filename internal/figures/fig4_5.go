@@ -1,0 +1,149 @@
+package figures
+
+import (
+	"fmt"
+
+	"camp/internal/cache"
+	"camp/internal/core"
+)
+
+// Fig4 reproduces Figure 4: the number of visited heap nodes as a function
+// of the cache size ratio, for GDS and CAMP. Two GDS variants are reported:
+// the textbook delete path (bubble-to-root + pop), whose visit count grows
+// with cache size exactly as in the paper, and this repository's optimized
+// replace-with-last delete. CAMP's counts are orders of magnitude lower and
+// decrease with cache size.
+func Fig4(cfg Config) *Table {
+	reqs, unique := cfg.bgTrace()
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Visited heap nodes per 1K requests vs cache size ratio",
+		XLabel: "ratio",
+		Series: []string{"gds-textbook", "gds-optimized", "camp(p=5)"},
+		Notes: []string{
+			"paper shape: GDS grows with cache size, CAMP decreases and is far below",
+			"gds-optimized shows the replace-with-last delete ablation (flat-to-falling curve)",
+		},
+	}
+	perK := func(visits uint64) float64 {
+		return float64(visits) / float64(len(reqs)) * 1000
+	}
+	for _, ratio := range cfg.Ratios {
+		capacity := capacityFor(ratio, unique)
+		gdsT := mustRun(core.NewGDS(capacity, core.WithTextbookDelete()), reqs)
+		gdsO := mustRun(core.NewGDS(capacity), reqs)
+		camp := mustRun(core.NewCamp(capacity), reqs)
+		t.Rows = append(t.Rows, Row{
+			X: ratio,
+			Y: []float64{perK(gdsT.HeapVisits), perK(gdsO.HeapVisits), perK(camp.HeapVisits)},
+		})
+	}
+	return t
+}
+
+// Fig5a reproduces Figure 5a: CAMP's cost-miss ratio as a function of the
+// precision, for three cache sizes; the last precision column (p=0) is the
+// "∞" series, i.e. GDS behavior over integerized ratios.
+func Fig5a(cfg Config) *Table {
+	reqs, unique := cfg.bgTrace()
+	ratios := pickThree(cfg.Ratios)
+	t := &Table{
+		ID:     "fig5a",
+		Title:  "Cost-miss ratio vs precision (CAMP; precision 0 = infinite)",
+		XLabel: "precision",
+		Notes:  []string{"paper shape: nearly flat in precision; matches the infinite-precision (GDS) row"},
+	}
+	for _, r := range ratios {
+		t.Series = append(t.Series, fmt.Sprintf("ratio=%.2f", r))
+	}
+	for _, p := range cfg.Precisions {
+		row := Row{X: float64(p)}
+		for _, r := range ratios {
+			capacity := capacityFor(r, unique)
+			res := mustRun(core.NewCamp(capacity, core.WithPrecision(p)), reqs)
+			row.Y = append(row.Y, res.CostMissRatio())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig5b reproduces Figure 5b: the number of non-empty LRU queues at the end
+// of the trace, as a function of precision.
+func Fig5b(cfg Config) *Table {
+	reqs, unique := cfg.bgTrace()
+	ratios := pickThree(cfg.Ratios)
+	t := &Table{
+		ID:     "fig5b",
+		Title:  "Non-empty LRU queues vs precision (CAMP; precision 0 = infinite)",
+		XLabel: "precision",
+		Notes:  []string{"paper shape: grows with precision then saturates; >= 5 queues even at p=1"},
+	}
+	for _, r := range ratios {
+		t.Series = append(t.Series, fmt.Sprintf("ratio=%.2f", r))
+	}
+	for _, p := range cfg.Precisions {
+		row := Row{X: float64(p)}
+		for _, r := range ratios {
+			capacity := capacityFor(r, unique)
+			res := mustRun(core.NewCamp(capacity, core.WithPrecision(p)), reqs)
+			row.Y = append(row.Y, float64(res.QueueCount))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig5c reproduces Figure 5c: cost-miss ratio vs cache size ratio for LRU,
+// Pooled LRU (uniform and cost-proportional splits) and CAMP(p=5).
+func Fig5c(cfg Config) *Table {
+	return fig5cd(cfg, "fig5c", "Cost-miss ratio vs cache size ratio", false)
+}
+
+// Fig5d reproduces Figure 5d: miss rate vs cache size ratio for the same
+// policies; Pooled(cost) buys its cost-miss wins with a far worse miss rate.
+func Fig5d(cfg Config) *Table {
+	return fig5cd(cfg, "fig5d", "Miss rate vs cache size ratio", true)
+}
+
+func fig5cd(cfg Config, id, title string, missRate bool) *Table {
+	reqs, unique := cfg.bgTrace()
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "ratio",
+		Series: []string{"lru", "pooled-uniform", "pooled-cost", "camp(p=5)"},
+	}
+	if missRate {
+		t.Notes = []string{"paper shape: pooled-cost has a much worse miss rate than its cost-miss ratio suggests"}
+	} else {
+		t.Notes = []string{"paper shape: CAMP lowest; pooled-cost between CAMP and LRU, approaching CAMP at large caches"}
+	}
+	for _, ratio := range cfg.Ratios {
+		capacity := capacityFor(ratio, unique)
+		policies := []cache.Policy{
+			cache.NewLRU(capacity),
+			pooledUniform(capacity),
+			pooledByCost(capacity),
+			core.NewCamp(capacity),
+		}
+		y := make([]float64, 0, len(policies))
+		for _, p := range policies {
+			res := mustRun(p, reqs)
+			if missRate {
+				y = append(y, res.MissRate())
+			} else {
+				y = append(y, res.CostMissRatio())
+			}
+		}
+		t.Rows = append(t.Rows, Row{X: ratio, Y: y})
+	}
+	return t
+}
+
+func pickThree(ratios []float64) []float64 {
+	if len(ratios) <= 3 {
+		return ratios
+	}
+	return []float64{ratios[0], ratios[len(ratios)/2], ratios[len(ratios)-1]}
+}

@@ -1,0 +1,233 @@
+package figures
+
+import (
+	"strings"
+
+	"camp/internal/cache"
+	"camp/internal/core"
+	"camp/internal/sim"
+	"camp/internal/trace"
+)
+
+// Fig6a reproduces Figure 6a: cost-miss ratio vs cache size ratio under the
+// evolving access pattern (back-to-back disjoint traces).
+func Fig6a(cfg Config) *Table {
+	return fig6ab(cfg, "fig6a", "Evolving workload: cost-miss ratio vs cache size ratio", false)
+}
+
+// Fig6b reproduces Figure 6b: miss rate vs cache size ratio (evolving).
+func Fig6b(cfg Config) *Table {
+	return fig6ab(cfg, "fig6b", "Evolving workload: miss rate vs cache size ratio", true)
+}
+
+func fig6ab(cfg Config, id, title string, missRate bool) *Table {
+	reqs, unique := cfg.evolvingTrace()
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "ratio",
+		Series: []string{"lru", "pooled-cost", "camp(p=5)"},
+		Notes:  []string{"paper shape: trends match the single-trace results of Figure 5"},
+	}
+	for _, ratio := range cfg.Ratios {
+		capacity := capacityFor(ratio, unique)
+		policies := []cache.Policy{
+			cache.NewLRU(capacity),
+			pooledByCost(capacity),
+			core.NewCamp(capacity),
+		}
+		y := make([]float64, 0, len(policies))
+		for _, p := range policies {
+			res := mustRun(p, reqs)
+			if missRate {
+				y = append(y, res.MissRate())
+			} else {
+				y = append(y, res.CostMissRatio())
+			}
+		}
+		t.Rows = append(t.Rows, Row{X: ratio, Y: y})
+	}
+	return t
+}
+
+// Fig6c reproduces Figure 6c: the fraction of cache occupied by trace-1
+// items over time, at cache size ratio 0.25.
+func Fig6c(cfg Config) *Table {
+	return fig6cd(cfg, "fig6c", 0.25)
+}
+
+// Fig6d reproduces Figure 6d: the same at cache size ratio 0.75.
+func Fig6d(cfg Config) *Table {
+	return fig6cd(cfg, "fig6d", 0.75)
+}
+
+func fig6cd(cfg Config, id string, ratio float64) *Table {
+	reqs, unique := cfg.evolvingTrace()
+	capacity := capacityFor(ratio, unique)
+	interval := int64(len(reqs)) / 60
+	if interval < 1 {
+		interval = 1
+	}
+	isTF1 := func(key string) bool { return strings.HasPrefix(key, "tf1-") }
+
+	t := &Table{
+		ID:     id,
+		Title:  "Fraction of cache occupied by trace-1 items vs requests (x1000)",
+		XLabel: "reqs(K)",
+		Series: []string{"lru", "pooled-cost", "camp(p=5)"},
+		Notes: []string{
+			"paper shape: LRU purges TF1 fastest; CAMP retains only the highest cost-to-size TF1 items",
+			"at ratio 0.75 CAMP keeps a small TF1 residue (<~1% of cache) long after the shift",
+		},
+	}
+
+	run := func(p cache.Policy) []sim.OccupancySample {
+		res := mustRun(p, reqs, sim.WithOccupancyProbe(isTF1, interval))
+		return res.Occupancy
+	}
+	lru := run(cache.NewLRU(capacity))
+	pooled := run(pooledByCost(capacity))
+	camp := run(core.NewCamp(capacity))
+	for i := range lru {
+		t.Rows = append(t.Rows, Row{
+			X: float64(lru[i].Requests) / 1000,
+			Y: []float64{lru[i].Fraction, pooled[i].Fraction, camp[i].Fraction},
+		})
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: miss rate vs cache size with variable-sized
+// key-value pairs and constant cost. With cost 1 everywhere the cost-miss
+// ratio equals the miss rate, and Pooled LRU collapses to LRU (one pool).
+func Fig7(cfg Config) *Table {
+	reqs, unique := cfg.variableSizeTrace()
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Variable sizes, constant cost: miss rate vs cache size ratio",
+		XLabel: "ratio",
+		Series: []string{"lru", "camp(p=5)"},
+		Notes:  []string{"paper shape: CAMP keeps small items resident and beats LRU's miss rate"},
+	}
+	for _, ratio := range cfg.Ratios {
+		capacity := capacityFor(ratio, unique)
+		lru := mustRun(cache.NewLRU(capacity), reqs)
+		camp := mustRun(core.NewCamp(capacity), reqs)
+		t.Rows = append(t.Rows, Row{X: ratio, Y: []float64{lru.MissRate(), camp.MissRate()}})
+	}
+	return t
+}
+
+// Fig8a reproduces Figure 8a: cost-miss ratio vs cache size ratio with
+// equi-sized pairs and continuously varying costs. Pooled LRU uses the §3.2
+// ranges [1,100), [100,10K), [10K,∞) weighted by range floor.
+func Fig8a(cfg Config) *Table {
+	return fig8ab(cfg, "fig8a", "Equi-size, variable costs: cost-miss ratio vs cache size ratio", false)
+}
+
+// Fig8b reproduces Figure 8b: miss rate vs cache size ratio for the same
+// workload; CAMP trades a slightly worse miss rate for much better cost.
+func Fig8b(cfg Config) *Table {
+	return fig8ab(cfg, "fig8b", "Equi-size, variable costs: miss rate vs cache size ratio", true)
+}
+
+func fig8ab(cfg Config, id, title string, missRate bool) *Table {
+	reqs, unique := cfg.equiSizeTrace()
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "ratio",
+		Series: []string{"lru", "pooled-range", "camp(p=5)"},
+	}
+	if missRate {
+		t.Notes = []string{"paper shape: CAMP's miss rate slightly worse than LRU at small caches (it favors costly items)"}
+	} else {
+		t.Notes = []string{"paper shape: CAMP best; pooled-range good at small ratios, inferior at large ones"}
+	}
+	for _, ratio := range cfg.Ratios {
+		capacity := capacityFor(ratio, unique)
+		policies := []cache.Policy{
+			cache.NewLRU(capacity),
+			pooledByRange(capacity),
+			core.NewCamp(capacity),
+		}
+		y := make([]float64, 0, len(policies))
+		for _, p := range policies {
+			res := mustRun(p, reqs)
+			if missRate {
+				y = append(y, res.MissRate())
+			} else {
+				y = append(y, res.CostMissRatio())
+			}
+		}
+		t.Rows = append(t.Rows, Row{X: ratio, Y: y})
+	}
+	return t
+}
+
+// Fig8c reproduces Figure 8c: the number of LRU queues vs precision, for the
+// equi-size/variable-cost trace against the {1,100,10K} trace. The
+// continuous-cost trace has far more queues without rounding; with rounding
+// the two converge.
+func Fig8c(cfg Config) *Table {
+	bg, bgUnique := cfg.bgTrace()
+	eq, eqUnique := cfg.equiSizeTrace()
+	ratio := 0.4
+	if len(cfg.Ratios) > 0 {
+		ratio = cfg.Ratios[len(cfg.Ratios)/2]
+	}
+	t := &Table{
+		ID:     "fig8c",
+		Title:  "Non-empty LRU queues vs precision: 3-cost trace vs continuous-cost trace",
+		XLabel: "precision",
+		Series: []string{"three-costs", "continuous-costs"},
+		Notes:  []string{"paper shape: continuous costs need many more queues unrounded; counts converge as precision drops"},
+	}
+	for _, p := range cfg.Precisions {
+		bgRes := mustRun(core.NewCamp(capacityFor(ratio, bgUnique), core.WithPrecision(p)), bg)
+		eqRes := mustRun(core.NewCamp(capacityFor(ratio, eqUnique), core.WithPrecision(p)), eq)
+		t.Rows = append(t.Rows, Row{
+			X: float64(p),
+			Y: []float64{float64(bgRes.QueueCount), float64(eqRes.QueueCount)},
+		})
+	}
+	return t
+}
+
+// Fig5dPools supplements Figure 5d's discussion: per-cost-class miss rates
+// under Pooled(cost), showing the cheap pool starving (~100% miss rate).
+func Fig5dPools(cfg Config) *Table {
+	reqs, unique := cfg.bgTrace()
+	t := &Table{
+		ID:     "fig5d-pools",
+		Title:  "Pooled(cost): per-cost-class miss rate vs cache size ratio",
+		XLabel: "ratio",
+		Series: []string{"cost=1", "cost=100", "cost=10000"},
+		Notes:  []string{"paper: even with a large cache the cheapest pool misses ~100%, the middle ~65%"},
+	}
+	groupBy := func(r trace.Request) string {
+		switch {
+		case r.Cost >= 10000:
+			return "cost=10000"
+		case r.Cost >= 100:
+			return "cost=100"
+		default:
+			return "cost=1"
+		}
+	}
+	for _, ratio := range cfg.Ratios {
+		capacity := capacityFor(ratio, unique)
+		res := mustRun(pooledByCost(capacity), reqs, sim.WithGroupBy(groupBy))
+		row := Row{X: ratio}
+		for _, g := range t.Series {
+			gm := res.Groups[g]
+			if gm == nil {
+				row.Y = append(row.Y, 0)
+				continue
+			}
+			row.Y = append(row.Y, gm.MissRate())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,158 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"camp/internal/kvclient"
+	"camp/internal/kvserver"
+	"camp/internal/trace"
+)
+
+// Fig9Ratios are the cache-size ratios for the implementation experiment;
+// §4 exercises small caches where the policies differ most.
+var Fig9Ratios = []float64{0.01, 0.05, 0.1, 0.25}
+
+// Fig9All reproduces Figure 9 (a, b and c) by replaying the BG trace with
+// synthetic {1,100,10K} costs against real kvserver instances over loopback
+// TCP — one running LRU, one running CAMP(p=5) — mirroring the paper's IQ
+// Twemcache deployment. It returns the three tables (cost-miss ratio, run
+// time, miss rate).
+func Fig9All(cfg Config) []*Table {
+	requests := cfg.Requests / 4
+	if requests > 100000 {
+		requests = 100000
+	}
+	if requests < 1000 {
+		requests = 1000
+	}
+	gen := trace.NewBGTrace(cfg.Seed, cfg.Keys, requests)
+	reqs, err := trace.Materialize(gen)
+	if err != nil {
+		panic("figures: generator cannot fail: " + err.Error())
+	}
+	unique := trace.UniqueBytes(reqs)
+
+	costMiss := &Table{
+		ID:     "fig9a",
+		Title:  "Implementation: cost-miss ratio vs cache size ratio (loopback TCP)",
+		XLabel: "ratio",
+		Series: []string{"lru", "camp(p=5)"},
+		Notes:  []string{"paper shape: CAMP far lower at small caches; gap narrows as the cache grows"},
+	}
+	runtime := &Table{
+		ID:     "fig9b",
+		Title:  "Implementation: trace run time (ms) vs cache size ratio",
+		XLabel: "ratio",
+		Series: []string{"lru", "camp(p=5)"},
+		Notes: []string{
+			"paper shape: CAMP as fast as LRU; both speed up with cache size (fewer set round trips)",
+		},
+	}
+	missRate := &Table{
+		ID:     "fig9c",
+		Title:  "Implementation: miss rate vs cache size ratio (loopback TCP)",
+		XLabel: "ratio",
+		Series: []string{"lru", "camp(p=5)"},
+		Notes:  []string{"paper shape: miss rate drops with cache size for both policies"},
+	}
+
+	for _, ratio := range Fig9Ratios {
+		capacity := capacityFor(ratio, unique)
+		var cm, rt, mr [2]float64
+		for i, policy := range []string{"lru", "camp"} {
+			res, err := replayOverServer(policy, capacity, reqs)
+			if err != nil {
+				panic("figures: fig9 replay: " + err.Error())
+			}
+			cm[i] = res.costMissRatio
+			rt[i] = float64(res.duration.Milliseconds())
+			mr[i] = res.missRate
+		}
+		costMiss.Rows = append(costMiss.Rows, Row{X: ratio, Y: cm[:]})
+		runtime.Rows = append(runtime.Rows, Row{X: ratio, Y: rt[:]})
+		missRate.Rows = append(missRate.Rows, Row{X: ratio, Y: mr[:]})
+	}
+	return []*Table{costMiss, runtime, missRate}
+}
+
+type fig9Result struct {
+	costMissRatio float64
+	missRate      float64
+	duration      time.Duration
+}
+
+// replayOverServer starts an in-process server with the given policy and
+// capacity, replays the trace through a TCP client (get; on miss, set), and
+// computes the §3 metrics client-side with cold requests excluded.
+func replayOverServer(policy string, capacity int64, reqs []trace.Request) (*fig9Result, error) {
+	srv, err := kvserver.New(kvserver.Config{
+		MemoryBytes:  capacity,
+		Policy:       policy,
+		ItemOverhead: 1,
+		DisableIQ:    true, // costs come from the trace, as in §4's workload
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	cli, err := kvclient.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	seen := make(map[string]struct{}, len(reqs)/4)
+	var (
+		warmMisses, warmHits int64
+		missCost, totalCost  int64
+	)
+	value := make([]byte, 0, 1024)
+	start := time.Now()
+	for _, r := range reqs {
+		_, warm := seen[r.Key]
+		if !warm {
+			seen[r.Key] = struct{}{}
+		}
+		_, hit, err := cli.Get(r.Key)
+		if err != nil {
+			return nil, fmt.Errorf("get %s: %w", r.Key, err)
+		}
+		if !hit {
+			if int64(cap(value)) < r.Size {
+				value = make([]byte, r.Size)
+			}
+			payload := value[:r.Size]
+			// A SERVER_ERROR (out of memory / too large) matches
+			// the simulator's "rejected" outcome; anything else is
+			// a real failure.
+			if err := cli.Set(r.Key, payload, 0, 0, r.Cost); err != nil && !errors.Is(err, kvclient.ErrServer) {
+				return nil, fmt.Errorf("set %s: %w", r.Key, err)
+			}
+		}
+		if warm {
+			totalCost += r.Cost
+			if hit {
+				warmHits++
+			} else {
+				warmMisses++
+				missCost += r.Cost
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	out := &fig9Result{duration: elapsed}
+	if warmHits+warmMisses > 0 {
+		out.missRate = float64(warmMisses) / float64(warmHits+warmMisses)
+	}
+	if totalCost > 0 {
+		out.costMissRatio = float64(missCost) / float64(totalCost)
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+// Package figures regenerates every table and figure of the CAMP paper's
+// evaluation (§2 Figure 4, §3 Figures 5-8, §4 Figure 9) as text tables.
+// cmd/campsim prints them; the repository-root benchmarks log them.
+//
+// The workloads are scaled-down but shape-preserving versions of the
+// paper's: the defaults replay 400K-request traces over 20K keys instead of
+// 4M-request BG traces, which reproduces every qualitative trend in seconds
+// on a laptop. Use Config.Scale (or campsim -scale) to grow them.
+package figures
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"camp/internal/cache"
+	"camp/internal/core"
+	"camp/internal/sim"
+	"camp/internal/trace"
+)
+
+// Config controls workload sizes for all figures.
+type Config struct {
+	// Keys is the number of distinct keys per trace.
+	Keys int
+	// Requests is the trace length for single-trace figures.
+	Requests int64
+	// EvolvingTraces and EvolvingRequests control the §3.1 experiment:
+	// EvolvingTraces back-to-back traces of EvolvingRequests rows each.
+	EvolvingTraces   int
+	EvolvingRequests int64
+	// Seed makes every figure deterministic.
+	Seed int64
+	// Ratios is the cache-size-ratio sweep.
+	Ratios []float64
+	// Precisions is the precision sweep for Figures 5a/5b/8c; 0 is ∞.
+	Precisions []uint
+}
+
+// Default returns the laptop-scale configuration.
+func Default() Config {
+	return Config{
+		Keys:             20000,
+		Requests:         400000,
+		EvolvingTraces:   10,
+		EvolvingRequests: 150000,
+		Seed:             1,
+		Ratios:           []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8},
+		Precisions:       []uint{1, 2, 3, 4, 5, 6, 7, core.PrecisionInf},
+	}
+}
+
+// Scale multiplies the workload sizes by f (0.1 for smoke tests, 10 for
+// paper scale).
+func (c Config) Scale(f float64) Config {
+	c.Keys = int(float64(c.Keys) * f)
+	if c.Keys < 100 {
+		c.Keys = 100
+	}
+	c.Requests = int64(float64(c.Requests) * f)
+	if c.Requests < 1000 {
+		c.Requests = 1000
+	}
+	c.EvolvingRequests = int64(float64(c.EvolvingRequests) * f)
+	if c.EvolvingRequests < 1000 {
+		c.EvolvingRequests = 1000
+	}
+	return c
+}
+
+// Table is a printable result table for one figure.
+type Table struct {
+	// ID is the experiment id, e.g. "fig5c".
+	ID string
+	// Title describes what the paper's figure shows.
+	Title string
+	// XLabel names the first column.
+	XLabel string
+	// Series names the remaining columns.
+	Series []string
+	// Rows holds one x value and one y value per series.
+	Rows []Row
+	// Notes carries commentary (deviations, reading guidance).
+	Notes []string
+}
+
+// Row is one table line: an x value and one y value per series.
+type Row struct {
+	X float64
+	Y []float64
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	cols := append([]string{t.XLabel}, t.Series...)
+	widths := make([]int, len(cols))
+	cells := make([][]string, 0, len(t.Rows)+1)
+	cells = append(cells, cols)
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(cols))
+		row = append(row, trimFloat(r.X))
+		for _, y := range r.Y {
+			row = append(row, trimFloat(y))
+		}
+		cells = append(cells, row)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', 5, 64)
+}
+
+// bgTrace materializes the §3 default trace once.
+func (c Config) bgTrace() ([]trace.Request, int64) {
+	reqs, err := trace.Materialize(trace.NewBGTrace(c.Seed, c.Keys, c.Requests))
+	if err != nil {
+		panic("figures: generator cannot fail: " + err.Error())
+	}
+	return reqs, trace.UniqueBytes(reqs)
+}
+
+func (c Config) variableSizeTrace() ([]trace.Request, int64) {
+	reqs, err := trace.Materialize(trace.NewVariableSizeTrace(c.Seed, c.Keys, c.Requests))
+	if err != nil {
+		panic("figures: generator cannot fail: " + err.Error())
+	}
+	return reqs, trace.UniqueBytes(reqs)
+}
+
+func (c Config) equiSizeTrace() ([]trace.Request, int64) {
+	reqs, err := trace.Materialize(trace.NewEquiSizeTrace(c.Seed, c.Keys, c.Requests))
+	if err != nil {
+		panic("figures: generator cannot fail: " + err.Error())
+	}
+	return reqs, trace.UniqueBytes(reqs)
+}
+
+func (c Config) evolvingTrace() ([]trace.Request, int64) {
+	keysEach := c.Keys / c.EvolvingTraces
+	if keysEach < 10 {
+		keysEach = 10
+	}
+	srcs := trace.NewEvolvingTraces(c.Seed, c.EvolvingTraces, keysEach, c.EvolvingRequests)
+	reqs, err := trace.Materialize(trace.Concat(srcs...))
+	if err != nil {
+		panic("figures: generator cannot fail: " + err.Error())
+	}
+	return reqs, trace.UniqueBytes(reqs)
+}
+
+// mustRun replays reqs against p.
+func mustRun(p cache.Policy, reqs []trace.Request, opts ...sim.Option) *sim.Result {
+	res, err := sim.Run(p, trace.NewSliceSource(reqs), opts...)
+	if err != nil {
+		panic("figures: slice source cannot fail: " + err.Error())
+	}
+	return res
+}
+
+// capacityFor converts a cache-size ratio into bytes.
+func capacityFor(ratio float64, uniqueBytes int64) int64 {
+	cap := int64(ratio * float64(uniqueBytes))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// pooledByCost builds the paper's cost-proportional pooled LRU for the
+// {1,100,10K} trace.
+func pooledByCost(capacity int64) cache.Policy {
+	p, err := cache.NewPooledByCostValues(capacity, []int64{1, 100, 10000}, false)
+	if err != nil {
+		panic("figures: static pool config cannot fail: " + err.Error())
+	}
+	return p
+}
+
+// pooledUniform builds the uniform-split pooled LRU.
+func pooledUniform(capacity int64) cache.Policy {
+	p, err := cache.NewPooledByCostValues(capacity, []int64{1, 100, 10000}, true)
+	if err != nil {
+		panic("figures: static pool config cannot fail: " + err.Error())
+	}
+	return p
+}
+
+// pooledByRange builds the §3.2 range pools for continuous costs.
+func pooledByRange(capacity int64) cache.Policy {
+	p, err := cache.NewPooledByRanges(capacity, []int64{1, 100, 10000})
+	if err != nil {
+		panic("figures: static pool config cannot fail: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,331 @@
+// Package kvclient is a minimal memcached-text-protocol client for the
+// kvserver package, standing in for the Whalin Java client the paper's §4
+// experiment drives its IQ Twemcache deployment with.
+package kvclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a single-connection KVS client. It is not safe for concurrent
+// use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// ErrServer wraps SERVER_ERROR responses.
+var ErrServer = errors.New("kvclient: server error")
+
+// ErrProtocol reports an unparsable response.
+var ErrProtocol = errors.New("kvclient: protocol error")
+
+// Dial connects to a kvserver at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("kvclient: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	fmt.Fprint(c.w, "quit\r\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// Get fetches one key; ok is false on a miss.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	vals, err := c.MultiGet(key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := vals[key]
+	return v, ok, nil
+}
+
+// MultiGet fetches several keys in one round trip, returning the hits.
+func (c *Client) MultiGet(keys ...string) (map[string][]byte, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("kvclient: MultiGet needs at least one key")
+	}
+	if _, err := fmt.Fprintf(c.w, "get %s\r\n", strings.Join(keys, " ")); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(keys))
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "VALUE" {
+			return nil, fmt.Errorf("%w: unexpected line %q", ErrProtocol, line)
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad length in %q", ErrProtocol, line)
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(c.r, value); err != nil {
+			return nil, err
+		}
+		if crlf, err := c.readLine(); err != nil {
+			return nil, err
+		} else if crlf != "" {
+			return nil, fmt.Errorf("%w: missing CRLF after value", ErrProtocol)
+		}
+		out[fields[1]] = value
+	}
+}
+
+// Set stores a value. ttl is in seconds (0 = no expiry). cost of 0 lets the
+// server derive the cost from the IQ miss-to-set latency.
+func (c *Client) Set(key string, value []byte, flags uint32, ttl int64, cost int64) error {
+	if cost > 0 {
+		fmt.Fprintf(c.w, "set %s %d %d %d %d\r\n", key, flags, ttl, len(value), cost)
+	} else {
+		fmt.Fprintf(c.w, "set %s %d %d %d\r\n", key, flags, ttl, len(value))
+	}
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	switch {
+	case line == "STORED":
+		return nil
+	case strings.HasPrefix(line, "SERVER_ERROR"):
+		return fmt.Errorf("%w: %s", ErrServer, line)
+	default:
+		return fmt.Errorf("%w: unexpected set response %q", ErrProtocol, line)
+	}
+}
+
+// Add stores a value only if the key is absent; ok reports whether it was
+// stored.
+func (c *Client) Add(key string, value []byte, flags uint32, ttl, cost int64) (bool, error) {
+	return c.storeCmd("add", key, value, flags, ttl, cost)
+}
+
+// Replace stores a value only if the key is present.
+func (c *Client) Replace(key string, value []byte, flags uint32, ttl, cost int64) (bool, error) {
+	return c.storeCmd("replace", key, value, flags, ttl, cost)
+}
+
+// Append concatenates data after an existing value.
+func (c *Client) Append(key string, value []byte) (bool, error) {
+	return c.storeCmd("append", key, value, 0, 0, 0)
+}
+
+// Prepend concatenates data before an existing value.
+func (c *Client) Prepend(key string, value []byte) (bool, error) {
+	return c.storeCmd("prepend", key, value, 0, 0, 0)
+}
+
+func (c *Client) storeCmd(cmd, key string, value []byte, flags uint32, ttl, cost int64) (bool, error) {
+	if cost > 0 {
+		fmt.Fprintf(c.w, "%s %s %d %d %d %d\r\n", cmd, key, flags, ttl, len(value), cost)
+	} else {
+		fmt.Fprintf(c.w, "%s %s %d %d %d\r\n", cmd, key, flags, ttl, len(value))
+	}
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case line == "STORED":
+		return true, nil
+	case line == "NOT_STORED":
+		return false, nil
+	case strings.HasPrefix(line, "SERVER_ERROR"):
+		return false, fmt.Errorf("%w: %s", ErrServer, line)
+	default:
+		return false, fmt.Errorf("%w: unexpected %s response %q", ErrProtocol, cmd, line)
+	}
+}
+
+// Incr adds delta to a numeric value, returning the new value; ok is false
+// when the key is absent.
+func (c *Client) Incr(key string, delta uint64) (value uint64, ok bool, err error) {
+	return c.arith("incr", key, delta)
+}
+
+// Decr subtracts delta from a numeric value (clamping at zero), returning
+// the new value; ok is false when the key is absent.
+func (c *Client) Decr(key string, delta uint64) (value uint64, ok bool, err error) {
+	return c.arith("decr", key, delta)
+}
+
+func (c *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
+	fmt.Fprintf(c.w, "%s %s %d\r\n", cmd, key, delta)
+	if err := c.w.Flush(); err != nil {
+		return 0, false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, false, err
+	}
+	switch {
+	case line == "NOT_FOUND":
+		return 0, false, nil
+	case strings.HasPrefix(line, "CLIENT_ERROR"), strings.HasPrefix(line, "SERVER_ERROR"):
+		return 0, false, fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	v, perr := strconv.ParseUint(line, 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("%w: unexpected %s response %q", ErrProtocol, cmd, line)
+	}
+	return v, true, nil
+}
+
+// Touch updates a key's expiry; ok is false when the key is absent.
+func (c *Client) Touch(key string, ttl int64) (bool, error) {
+	fmt.Fprintf(c.w, "touch %s %d\r\n", key, ttl)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "TOUCHED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: unexpected touch response %q", ErrProtocol, line)
+	}
+}
+
+// Delete removes a key, reporting whether it existed.
+func (c *Client) Delete(key string) (bool, error) {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch line {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: unexpected delete response %q", ErrProtocol, line)
+	}
+}
+
+// Stats fetches the server's STAT lines as a map.
+func (c *Client) Stats() (map[string]string, error) {
+	fmt.Fprint(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, fmt.Errorf("%w: unexpected stats line %q", ErrProtocol, line)
+		}
+		out[fields[1]] = fields[2]
+	}
+}
+
+// Debug returns the server-side metadata line for a key.
+func (c *Client) Debug(key string) (string, bool, error) {
+	fmt.Fprintf(c.w, "debug %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return "", false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", false, err
+	}
+	if line == "NOT_FOUND" {
+		return "", false, nil
+	}
+	if !strings.HasPrefix(line, "DEBUG ") {
+		return "", false, fmt.Errorf("%w: unexpected debug response %q", ErrProtocol, line)
+	}
+	return line, true, nil
+}
+
+// FlushAll empties the server.
+func (c *Client) FlushAll() error {
+	fmt.Fprint(c.w, "flush_all\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	if line != "OK" {
+		return fmt.Errorf("%w: unexpected flush response %q", ErrProtocol, line)
+	}
+	return nil
+}
+
+// Version returns the server version banner.
+func (c *Client) Version() (string, error) {
+	fmt.Fprint(c.w, "version\r\n")
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, "VERSION ") {
+		return "", fmt.Errorf("%w: unexpected version response %q", ErrProtocol, line)
+	}
+	return strings.TrimPrefix(line, "VERSION "), nil
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

@@ -1,0 +1,150 @@
+package kvclient
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+)
+
+// fakeServer answers each received line with a canned response.
+func fakeServer(t *testing.T, respond func(line string, w *bufio.Writer)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					respond(strings.TrimRight(line, "\r\n"), w)
+					if w.Flush() != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to a closed port should fail")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	addr := fakeServer(t, func(line string, w *bufio.Writer) {
+		switch {
+		case strings.HasPrefix(line, "get"):
+			w.WriteString("GARBAGE\r\n")
+		case strings.HasPrefix(line, "delete"):
+			w.WriteString("WAT\r\n")
+		case strings.HasPrefix(line, "stats"):
+			w.WriteString("NOT STATS LINE EXTRA WORDS\r\n")
+		case strings.HasPrefix(line, "version"):
+			w.WriteString("NOPE\r\n")
+		case strings.HasPrefix(line, "flush_all"):
+			w.WriteString("NO\r\n")
+		default:
+			w.WriteString("ERROR\r\n")
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get("k"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Get err = %v, want ErrProtocol", err)
+	}
+	if _, err := c.Delete("k"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Delete err = %v, want ErrProtocol", err)
+	}
+	if _, err := c.Stats(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Stats err = %v, want ErrProtocol", err)
+	}
+	if _, err := c.Version(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Version err = %v, want ErrProtocol", err)
+	}
+	if err := c.FlushAll(); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("FlushAll err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestServerErrorOnSet(t *testing.T) {
+	addr := fakeServer(t, func(line string, w *bufio.Writer) {
+		if strings.HasPrefix(line, "set") {
+			w.WriteString("SERVER_ERROR out of memory storing object\r\n")
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Set("k", []byte("v"), 0, 0, 1)
+	if !errors.Is(err, ErrServer) {
+		t.Fatalf("Set err = %v, want ErrServer", err)
+	}
+}
+
+func TestMultiGetRequiresKeys(t *testing.T) {
+	addr := fakeServer(t, func(string, *bufio.Writer) {})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.MultiGet(); err == nil {
+		t.Fatal("MultiGet with no keys should error")
+	}
+}
+
+func TestBadValueLength(t *testing.T) {
+	addr := fakeServer(t, func(line string, w *bufio.Writer) {
+		if strings.HasPrefix(line, "get") {
+			w.WriteString("VALUE k 0 notanumber\r\n")
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get("k"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestMissingCRLFAfterValue(t *testing.T) {
+	addr := fakeServer(t, func(line string, w *bufio.Writer) {
+		if strings.HasPrefix(line, "get") {
+			// Value bytes not followed by CRLF but by junk.
+			w.WriteString("VALUE k 0 2\r\nvvXX\r\nEND\r\n")
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Get("k"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}

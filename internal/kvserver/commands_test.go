@@ -1,0 +1,230 @@
+package kvserver
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"camp/internal/kvclient"
+)
+
+// dialRaw connects without test-scoped cleanup, for goroutine use.
+func dialRaw(s *Server) (*kvclient.Client, error) {
+	return kvclient.Dial(s.Addr())
+}
+
+func TestAddReplace(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+
+	// replace on a missing key fails; add succeeds.
+	if ok, err := c.Replace("k", []byte("v0"), 0, 0, 1); err != nil || ok {
+		t.Fatalf("Replace(missing) = %v, %v", ok, err)
+	}
+	if ok, err := c.Add("k", []byte("v1"), 7, 0, 1); err != nil || !ok {
+		t.Fatalf("Add(missing) = %v, %v", ok, err)
+	}
+	// add on an existing key fails; replace succeeds.
+	if ok, err := c.Add("k", []byte("v2"), 0, 0, 1); err != nil || ok {
+		t.Fatalf("Add(existing) = %v, %v", ok, err)
+	}
+	if ok, err := c.Replace("k", []byte("v3"), 0, 0, 1); err != nil || !ok {
+		t.Fatalf("Replace(existing) = %v, %v", ok, err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "v3" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+
+	if ok, err := c.Append("k", []byte("x")); err != nil || ok {
+		t.Fatalf("Append(missing) = %v, %v", ok, err)
+	}
+	if err := c.Set("k", []byte("mid"), 9, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Append("k", []byte("-end")); err != nil || !ok {
+		t.Fatalf("Append = %v, %v", ok, err)
+	}
+	if ok, err := c.Prepend("k", []byte("start-")); err != nil || !ok {
+		t.Fatalf("Prepend = %v, %v", ok, err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "start-mid-end" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	// Flags and cost survive concatenation.
+	line, _, err := c.Debug("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "cost=42") || !strings.Contains(line, "flags=9") {
+		t.Fatalf("metadata lost on append/prepend: %q", line)
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+
+	if _, ok, err := c.Incr("counter", 1); err != nil || ok {
+		t.Fatalf("Incr(missing) = %v, %v", ok, err)
+	}
+	if err := c.Set("counter", []byte("10"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Incr("counter", 5); err != nil || !ok || v != 15 {
+		t.Fatalf("Incr = %d, %v, %v", v, ok, err)
+	}
+	if v, ok, err := c.Decr("counter", 3); err != nil || !ok || v != 12 {
+		t.Fatalf("Decr = %d, %v, %v", v, ok, err)
+	}
+	// decr clamps at zero.
+	if v, _, err := c.Decr("counter", 100); err != nil || v != 0 {
+		t.Fatalf("Decr(clamp) = %d, %v", v, err)
+	}
+	// Non-numeric values are rejected.
+	c.Set("text", []byte("hello"), 0, 0, 1)
+	if _, _, err := c.Incr("text", 1); err == nil {
+		t.Fatal("Incr on non-numeric value should error")
+	}
+}
+
+func TestTouch(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+
+	if ok, err := c.Touch("k", 100); err != nil || ok {
+		t.Fatalf("Touch(missing) = %v, %v", ok, err)
+	}
+	if err := c.Set("k", []byte("v"), 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Extend the 1s TTL before it fires.
+	if ok, err := c.Touch("k", 60); err != nil || !ok {
+		t.Fatalf("Touch = %v, %v", ok, err)
+	}
+	time.Sleep(1200 * time.Millisecond)
+	if _, ok, _ := c.Get("k"); !ok {
+		t.Fatal("touched key should have outlived its original TTL")
+	}
+	// Touch with ttl 0 clears the expiry.
+	if ok, err := c.Touch("k", 0); err != nil || !ok {
+		t.Fatalf("Touch(0) = %v, %v", ok, err)
+	}
+}
+
+func TestArithMalformed(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, cmd := range []string{
+		"incr onlykey\r\n",
+		"incr k notanumber\r\n",
+		"decr k -5\r\n",
+		"touch k\r\n",
+		"touch k soon\r\n",
+	} {
+		fmt.Fprint(conn, cmd)
+		buf := make([]byte, 128)
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(buf[:n]), "CLIENT_ERROR") {
+			t.Fatalf("cmd %q: response %q", cmd, buf[:n])
+		}
+	}
+}
+
+func TestFlushAllModes(t *testing.T) {
+	for _, cfg := range []Config{
+		{MemoryBytes: 1 << 20, Policy: "camp"},
+		{MemoryBytes: 1 << 21, Mode: ModeSlab, SlabSize: 1 << 16},
+		{MemoryBytes: 1 << 20, Policy: "camp", Mode: ModeBuddy},
+	} {
+		name := cfg.Policy + "/" + cfg.Mode
+		t.Run(name, func(t *testing.T) {
+			s := startServer(t, cfg)
+			c := dial(t, s)
+			for i := 0; i < 20; i++ {
+				if err := c.Set(fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats["curr_items"] != "0" {
+				t.Fatalf("curr_items = %s after flush", stats["curr_items"])
+			}
+			// The server is fully usable after a flush.
+			if err := c.Set("again", []byte("v"), 0, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := c.Get("again"); !ok {
+				t.Fatal("server broken after flush")
+			}
+		})
+	}
+}
+
+func TestBuddyModeChurn(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 16, Policy: "camp", Mode: ModeBuddy, ItemOverhead: 1})
+	c := dial(t, s)
+	// Values of mixed sizes force buddy split/coalesce cycles and
+	// policy-driven evictions when the arena fills.
+	for i := 0; i < 500; i++ {
+		size := 50 + (i%8)*300
+		if err := c.Set(fmt.Sprintf("k%d", i%60), make([]byte, size), 0, 0, int64(i%100+1)); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["curr_items"] == "0" {
+		t.Fatal("buddy-mode server lost everything")
+	}
+}
+
+func TestAddRacesOnlyOneWinner(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	const clients = 8
+	wins := make(chan bool, clients)
+	for i := 0; i < clients; i++ {
+		go func(id int) {
+			c, err := dialRaw(s)
+			if err != nil {
+				wins <- false
+				return
+			}
+			defer c.Close()
+			ok, err := c.Add("lock", []byte(fmt.Sprint(id)), 0, 0, 1)
+			wins <- err == nil && ok
+		}(i)
+	}
+	winners := 0
+	for i := 0; i < clients; i++ {
+		if <-wins {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("add should have exactly one winner, got %d", winners)
+	}
+}

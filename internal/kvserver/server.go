@@ -1,0 +1,607 @@
+// Package kvserver implements a memcached-style key-value server with
+// pluggable cost-aware eviction, reproducing the §4 "IQ Twemcache"
+// implementation of the CAMP paper.
+//
+// The server speaks a memcached text protocol subset over TCP:
+//
+//	set <key> <flags> <exptime> <bytes> [cost] [noreply]\r\n<data>\r\n
+//	get <key> [<key> ...]\r\n
+//	delete <key> [noreply]\r\n
+//	stats\r\n    flush_all\r\n    version\r\n    debug <key>\r\n    quit\r\n
+//
+// In IQ mode (default) the server timestamps every get miss; when the
+// subsequent set for that key arrives without an explicit cost, the elapsed
+// time in microseconds becomes the key's cost — exactly how the paper's IQ
+// framework derives recomputation costs from iqget/iqset pairs.
+//
+// Memory management is pluggable per §5: "byte" charges exact sizes to the
+// eviction policy; "slab" reproduces Twemcache's slab classes with per-class
+// LRU and random slab eviction; "buddy" rounds sizes to power-of-two blocks
+// in a buddy arena with the configured policy choosing victims.
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"camp/internal/core"
+)
+
+// Memory-management modes.
+const (
+	ModeByte  = "byte"
+	ModeSlab  = "slab"
+	ModeBuddy = "buddy"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address; empty means 127.0.0.1:0.
+	Addr string
+	// MemoryBytes is the cache capacity.
+	MemoryBytes int64
+	// Policy selects the eviction algorithm: "camp" (default), "lru" or
+	// "gds". Ignored in slab mode, which always uses per-class LRU as
+	// Twemcache does.
+	Policy string
+	// Precision is CAMP's rounding precision (default 5).
+	Precision uint
+	// Mode selects memory management: ModeByte (default), ModeSlab or
+	// ModeBuddy.
+	Mode string
+	// SlabSize overrides the slab size in slab mode (default 1 MiB).
+	SlabSize int64
+	// MinBlock overrides the buddy minimum block (default 64).
+	MinBlock int64
+	// ItemOverhead is charged per item on top of key+value bytes
+	// (default 56, approximating Twemcache's item header).
+	ItemOverhead int64
+	// DisableIQ turns off miss-to-set cost derivation.
+	DisableIQ bool
+	// MaxValueBytes rejects larger values (default 8 MiB).
+	MaxValueBytes int64
+}
+
+// DefaultItemOverhead approximates the per-item header of Twemcache.
+const DefaultItemOverhead = 56
+
+// Server is a single-node cost-aware KVS.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	store    *store
+	missedAt map[string]time.Time
+	stats    map[string]uint64
+
+	wg     sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// New validates cfg and creates a Server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.MemoryBytes <= 0 {
+		return nil, fmt.Errorf("kvserver: MemoryBytes must be positive")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "camp"
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeByte
+	}
+	if cfg.Precision == 0 {
+		cfg.Precision = core.DefaultPrecision
+	}
+	if cfg.ItemOverhead == 0 {
+		cfg.ItemOverhead = DefaultItemOverhead
+	}
+	if cfg.MaxValueBytes == 0 {
+		cfg.MaxValueBytes = 8 << 20
+	}
+	st, err := newStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		store:    st,
+		missedAt: make(map[string]time.Time),
+		stats:    make(map[string]uint64),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Start begins listening and serving connections.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("kvserver: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, closes live connections and waits for handlers.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		quit, err := s.dispatch(line, r, w)
+		if err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch handles one command line; it returns quit=true for "quit".
+func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit bool, fatal error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		_, err := w.WriteString("ERROR\r\n")
+		return false, err
+	}
+	switch fields[0] {
+	case "get", "gets":
+		return false, s.handleGet(fields[1:], w)
+	case "set", "add", "replace", "append", "prepend":
+		return false, s.handleStore(fields[0], fields[1:], r, w)
+	case "incr", "decr":
+		return false, s.handleArith(fields[0], fields[1:], w)
+	case "touch":
+		return false, s.handleTouch(fields[1:], w)
+	case "delete":
+		return false, s.handleDelete(fields[1:], w)
+	case "stats":
+		return false, s.handleStats(w)
+	case "flush_all":
+		s.mu.Lock()
+		s.store.flush()
+		s.missedAt = make(map[string]time.Time)
+		s.mu.Unlock()
+		_, err := w.WriteString("OK\r\n")
+		return false, err
+	case "version":
+		_, err := w.WriteString("VERSION camp-kvs/1.0\r\n")
+		return false, err
+	case "debug":
+		return false, s.handleDebug(fields[1:], w)
+	case "quit":
+		return true, nil
+	default:
+		_, err := w.WriteString("ERROR\r\n")
+		return false, err
+	}
+}
+
+func (s *Server) handleGet(keys []string, w *bufio.Writer) error {
+	if len(keys) == 0 {
+		_, err := w.WriteString("CLIENT_ERROR get requires a key\r\n")
+		return err
+	}
+	s.mu.Lock()
+	type hit struct {
+		key   string
+		flags uint32
+		value []byte
+	}
+	hits := make([]hit, 0, len(keys))
+	now := time.Now()
+	for _, k := range keys {
+		s.stats["cmd_get"]++
+		it, ok := s.store.get(k, now)
+		if !ok {
+			s.stats["get_misses"]++
+			if !s.cfg.DisableIQ {
+				s.recordMissLocked(k, now)
+			}
+			continue
+		}
+		s.stats["get_hits"]++
+		hits = append(hits, hit{key: k, flags: it.flags, value: it.value})
+	}
+	s.mu.Unlock()
+	for _, h := range hits {
+		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", h.key, h.flags, len(h.value)); err != nil {
+			return err
+		}
+		if _, err := w.Write(h.value); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+// recordMissLocked notes a get miss for IQ cost derivation, bounding the
+// table so an attacker cannot balloon it with unique keys.
+func (s *Server) recordMissLocked(key string, now time.Time) {
+	const maxPending = 1 << 16
+	if len(s.missedAt) >= maxPending {
+		for k, at := range s.missedAt {
+			if now.Sub(at) > time.Minute {
+				delete(s.missedAt, k)
+			}
+		}
+		if len(s.missedAt) >= maxPending {
+			return // still full of recent misses; drop this one
+		}
+	}
+	s.missedAt[key] = now
+}
+
+// handleStore covers set, add, replace, append and prepend:
+//
+//	<cmd> <key> <flags> <exptime> <bytes> [cost] [noreply]\r\n<data>\r\n
+func (s *Server) handleStore(cmd string, args []string, r *bufio.Reader, w *bufio.Writer) error {
+	noreply := false
+	if len(args) > 0 && args[len(args)-1] == "noreply" {
+		noreply = true
+		args = args[:len(args)-1]
+	}
+	if len(args) != 4 && len(args) != 5 {
+		_, err := fmt.Fprintf(w, "CLIENT_ERROR bad %s command\r\n", cmd)
+		return err
+	}
+	key := args[0]
+	flags, err1 := strconv.ParseUint(args[1], 10, 32)
+	ttl, err2 := strconv.ParseInt(args[2], 10, 64)
+	nbytes, err3 := strconv.ParseInt(args[3], 10, 64)
+	var cost int64
+	var err4 error
+	if len(args) == 5 {
+		cost, err4 = strconv.ParseInt(args[4], 10, 64)
+	}
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 || cost < 0 {
+		_, err := fmt.Fprintf(w, "CLIENT_ERROR bad %s arguments\r\n", cmd)
+		return err
+	}
+	if nbytes > s.cfg.MaxValueBytes {
+		// Drain and discard the payload to keep the stream in sync.
+		if err := discard(r, nbytes+2); err != nil {
+			return err
+		}
+		if noreply {
+			return nil
+		}
+		_, err := w.WriteString("SERVER_ERROR object too large for cache\r\n")
+		return err
+	}
+	value := make([]byte, nbytes)
+	if _, err := io.ReadFull(r, value); err != nil {
+		return err
+	}
+	// Consume the trailing \r\n.
+	if crlf, err := readLine(r); err != nil {
+		return err
+	} else if crlf != "" {
+		_, err := w.WriteString("CLIENT_ERROR bad data chunk\r\n")
+		return err
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	s.stats["cmd_"+cmd]++
+	reply := s.storeLocked(cmd, key, value, uint32(flags), ttl, cost, now)
+	s.mu.Unlock()
+
+	if noreply {
+		return nil
+	}
+	_, err := w.WriteString(reply)
+	return err
+}
+
+// storeLocked applies one storage command and returns the protocol reply.
+// The caller holds s.mu.
+func (s *Server) storeLocked(cmd, key string, value []byte, flags uint32, ttl, cost int64, now time.Time) string {
+	existing, exists := s.store.items[key]
+	if exists && !existing.expiresAt.IsZero() && now.After(existing.expiresAt) {
+		s.store.delete(key)
+		existing, exists = nil, false
+	}
+	switch cmd {
+	case "add":
+		if exists {
+			return "NOT_STORED\r\n"
+		}
+	case "replace":
+		if !exists {
+			return "NOT_STORED\r\n"
+		}
+	case "append", "prepend":
+		if !exists {
+			return "NOT_STORED\r\n"
+		}
+		// Concatenation keeps the existing flags and cost; the payload
+		// just grows.
+		if cmd == "append" {
+			value = append(append(make([]byte, 0, len(existing.value)+len(value)), existing.value...), value...)
+		} else {
+			value = append(append(make([]byte, 0, len(existing.value)+len(value)), value...), existing.value...)
+		}
+		flags = existing.flags
+		if cost == 0 {
+			cost = s.costOf(key)
+		}
+	}
+	if cost == 0 && !s.cfg.DisableIQ {
+		if at, ok := s.missedAt[key]; ok {
+			cost = now.Sub(at).Microseconds()
+			if cost < 1 {
+				cost = 1
+			}
+			delete(s.missedAt, key)
+		}
+	}
+	if cost == 0 {
+		cost = 1
+	}
+	if !s.store.set(key, value, flags, ttl, cost, now) {
+		s.stats["set_rejected"]++
+		return "SERVER_ERROR out of memory storing object\r\n"
+	}
+	return "STORED\r\n"
+}
+
+// costOf returns the stored cost of a resident key, or 0.
+func (s *Server) costOf(key string) int64 {
+	if _, meta, ok := s.store.peek(key); ok {
+		return meta.Cost
+	}
+	return 0
+}
+
+// handleArith covers incr/decr: <cmd> <key> <delta> [noreply].
+func (s *Server) handleArith(cmd string, args []string, w *bufio.Writer) error {
+	noreply := false
+	if len(args) > 0 && args[len(args)-1] == "noreply" {
+		noreply = true
+		args = args[:len(args)-1]
+	}
+	if len(args) != 2 {
+		_, err := fmt.Fprintf(w, "CLIENT_ERROR bad %s command\r\n", cmd)
+		return err
+	}
+	delta, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		_, err := w.WriteString("CLIENT_ERROR invalid numeric delta argument\r\n")
+		return err
+	}
+	key := args[0]
+	now := time.Now()
+	s.mu.Lock()
+	s.stats["cmd_"+cmd]++
+	it, ok := s.store.get(key, now)
+	reply := "NOT_FOUND\r\n"
+	if ok {
+		cur, perr := strconv.ParseUint(string(it.value), 10, 64)
+		if perr != nil {
+			reply = "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+		} else {
+			if cmd == "incr" {
+				cur += delta // wraps at 2^64, as memcached does
+			} else if cur < delta {
+				cur = 0 // decr clamps at zero
+			} else {
+				cur -= delta
+			}
+			newVal := strconv.FormatUint(cur, 10)
+			cost := s.costOf(key)
+			if s.store.set(key, []byte(newVal), it.flags, 0, cost, now) {
+				reply = newVal + "\r\n"
+			} else {
+				reply = "SERVER_ERROR out of memory storing object\r\n"
+			}
+		}
+	}
+	s.mu.Unlock()
+	if noreply {
+		return nil
+	}
+	_, werr := w.WriteString(reply)
+	return werr
+}
+
+// handleTouch covers touch <key> <exptime> [noreply].
+func (s *Server) handleTouch(args []string, w *bufio.Writer) error {
+	noreply := false
+	if len(args) > 0 && args[len(args)-1] == "noreply" {
+		noreply = true
+		args = args[:len(args)-1]
+	}
+	if len(args) != 2 {
+		_, err := w.WriteString("CLIENT_ERROR bad touch command\r\n")
+		return err
+	}
+	ttl, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		_, err := w.WriteString("CLIENT_ERROR invalid exptime argument\r\n")
+		return err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.stats["cmd_touch"]++
+	it, ok := s.store.get(args[0], now)
+	if ok {
+		if ttl > 0 {
+			it.expiresAt = now.Add(time.Duration(ttl) * time.Second)
+		} else {
+			it.expiresAt = time.Time{}
+		}
+	}
+	s.mu.Unlock()
+	if noreply {
+		return nil
+	}
+	reply := "NOT_FOUND\r\n"
+	if ok {
+		reply = "TOUCHED\r\n"
+	}
+	_, werr := w.WriteString(reply)
+	return werr
+}
+
+func (s *Server) handleDelete(args []string, w *bufio.Writer) error {
+	noreply := false
+	if len(args) > 0 && args[len(args)-1] == "noreply" {
+		noreply = true
+		args = args[:len(args)-1]
+	}
+	if len(args) != 1 {
+		_, err := w.WriteString("CLIENT_ERROR bad delete command\r\n")
+		return err
+	}
+	s.mu.Lock()
+	s.stats["cmd_delete"]++
+	ok := s.store.delete(args[0])
+	s.mu.Unlock()
+	if noreply {
+		return nil
+	}
+	if ok {
+		_, err := w.WriteString("DELETED\r\n")
+		return err
+	}
+	_, err := w.WriteString("NOT_FOUND\r\n")
+	return err
+}
+
+func (s *Server) handleStats(w *bufio.Writer) error {
+	s.mu.Lock()
+	lines := make([]string, 0, 16)
+	for k, v := range s.stats {
+		lines = append(lines, fmt.Sprintf("STAT %s %d\r\n", k, v))
+	}
+	lines = append(lines, fmt.Sprintf("STAT curr_items %d\r\n", s.store.len()))
+	lines = append(lines, fmt.Sprintf("STAT bytes %d\r\n", s.store.used()))
+	lines = append(lines, fmt.Sprintf("STAT limit_maxbytes %d\r\n", s.cfg.MemoryBytes))
+	lines = append(lines, fmt.Sprintf("STAT evictions %d\r\n", s.store.evictions()))
+	lines = append(lines, fmt.Sprintf("STAT policy %s\r\n", s.store.policyName()))
+	lines = append(lines, fmt.Sprintf("STAT mode %s\r\n", s.cfg.Mode))
+	if qc := s.store.queueCount(); qc >= 0 {
+		lines = append(lines, fmt.Sprintf("STAT camp_queues %d\r\n", qc))
+	}
+	s.mu.Unlock()
+	for _, l := range lines {
+		if _, err := w.WriteString(l); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+func (s *Server) handleDebug(args []string, w *bufio.Writer) error {
+	if len(args) != 1 {
+		_, err := w.WriteString("CLIENT_ERROR debug requires a key\r\n")
+		return err
+	}
+	s.mu.Lock()
+	it, meta, ok := s.store.peek(args[0])
+	s.mu.Unlock()
+	if !ok {
+		_, err := w.WriteString("NOT_FOUND\r\n")
+		return err
+	}
+	_, err := fmt.Fprintf(w, "DEBUG %s size=%d cost=%d flags=%d\r\n", args[0], meta.Size, meta.Cost, it.flags)
+	return err
+}
+
+// readLine reads a \r\n- or \n-terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func discard(r *bufio.Reader, n int64) error {
+	_, err := io.CopyN(io.Discard, r, n)
+	return err
+}
+
+var errBadConfig = errors.New("kvserver: bad configuration")

@@ -1,0 +1,415 @@
+package kvserver
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"camp/internal/kvclient"
+)
+
+// startServer boots a server with the given config and registers cleanup.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dial(t *testing.T, s *Server) *kvclient.Client {
+	t.Helper()
+	c, err := kvclient.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero memory must error")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 20, Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 20, Mode: "bogus"}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if _, err := New(Config{MemoryBytes: 100, Mode: ModeSlab}); err == nil {
+		t.Fatal("slab mode below one slab must error")
+	}
+}
+
+func TestSetGetDeleteRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{MemoryBytes: 1 << 20, Policy: "camp"},
+		{MemoryBytes: 1 << 20, Policy: "lru"},
+		{MemoryBytes: 1 << 20, Policy: "gds"},
+		{MemoryBytes: 1 << 21, Mode: ModeSlab, SlabSize: 1 << 16},
+		{MemoryBytes: 1 << 20, Policy: "camp", Mode: ModeBuddy},
+	} {
+		name := cfg.Policy + "/" + cfg.Mode
+		t.Run(name, func(t *testing.T) {
+			s := startServer(t, cfg)
+			c := dial(t, s)
+
+			if _, ok, err := c.Get("nope"); err != nil || ok {
+				t.Fatalf("Get(miss) = %v, %v", ok, err)
+			}
+			if err := c.Set("greeting", []byte("hello world"), 42, 0, 10); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := c.Get("greeting")
+			if err != nil || !ok || string(v) != "hello world" {
+				t.Fatalf("Get = %q, %v, %v", v, ok, err)
+			}
+			line, found, err := c.Debug("greeting")
+			if err != nil || !found {
+				t.Fatalf("Debug = %v, %v", found, err)
+			}
+			if !strings.Contains(line, "cost=10") || !strings.Contains(line, "flags=42") {
+				t.Fatalf("Debug line = %q", line)
+			}
+			if ok, err := c.Delete("greeting"); err != nil || !ok {
+				t.Fatalf("Delete = %v, %v", ok, err)
+			}
+			if ok, err := c.Delete("greeting"); err != nil || ok {
+				t.Fatalf("second Delete = %v, %v", ok, err)
+			}
+			if _, ok, _ := c.Get("greeting"); ok {
+				t.Fatal("deleted key still readable")
+			}
+		})
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+	for i := 0; i < 5; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.MultiGet("k0", "k2", "missing", "k4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got["k0"]) != "v0" || string(got["k2"]) != "v2" || string(got["k4"]) != "v4" {
+		t.Fatalf("MultiGet = %v", got)
+	}
+}
+
+// TestIQCostDerivation verifies the §4 IQ behavior: the elapsed time between
+// a get miss and the subsequent set becomes the key's cost.
+func TestIQCostDerivation(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+	if _, ok, err := c.Get("slow"); err != nil || ok {
+		t.Fatalf("expected miss, got %v %v", ok, err)
+	}
+	time.Sleep(30 * time.Millisecond) // the "computation"
+	if err := c.Set("slow", []byte("result"), 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	line, found, err := c.Debug("slow")
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	var cost int64
+	for _, f := range strings.Fields(line) {
+		if strings.HasPrefix(f, "cost=") {
+			fmt.Sscanf(f, "cost=%d", &cost)
+		}
+	}
+	// ~30ms in microseconds, with generous slack for CI jitter.
+	if cost < 20000 || cost > 10_000_000 {
+		t.Fatalf("IQ-derived cost = %dus, want ~30000", cost)
+	}
+	// A set without a preceding miss gets the default cost 1.
+	if err := c.Set("fast", []byte("x"), 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	line, _, err = c.Debug("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "cost=1 ") && !strings.HasSuffix(line, "cost=1 flags=0") && !strings.Contains(line, "cost=1 flags") {
+		t.Fatalf("default cost line = %q", line)
+	}
+}
+
+func TestIQDisabled(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20, DisableIQ: true})
+	c := dial(t, s)
+	c.Get("k")
+	time.Sleep(10 * time.Millisecond)
+	if err := c.Set("k", []byte("v"), 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	line, _, err := c.Debug("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "cost=1 ") && !strings.Contains(line, "cost=1 flags") {
+		t.Fatalf("cost should default to 1 with IQ off: %q", line)
+	}
+}
+
+// TestCostAwareEviction shows the server preferring to keep expensive items
+// under CAMP but not under LRU.
+func TestCostAwareEviction(t *testing.T) {
+	run := func(policy string) bool {
+		cfg := Config{MemoryBytes: 4096, Policy: policy, ItemOverhead: 1}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		c, err := kvclient.Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		if err := c.Set("gold", make([]byte, 100), 0, 0, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		// Cheap churn far beyond capacity.
+		for i := 0; i < 200; i++ {
+			if err := c.Set(fmt.Sprintf("c%d", i), make([]byte, 100), 0, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, ok, err := c.Get("gold")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !run("camp") {
+		t.Error("CAMP server should retain the expensive item through cheap churn")
+	}
+	if run("lru") {
+		t.Error("LRU server should have evicted the expensive item")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+	if err := c.Set("ephemeral", []byte("x"), 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("ephemeral"); !ok {
+		t.Fatal("fresh item should be readable")
+	}
+	time.Sleep(1100 * time.Millisecond)
+	if _, ok, _ := c.Get("ephemeral"); ok {
+		t.Fatal("expired item should miss")
+	}
+}
+
+func TestStatsAndFlush(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+	c.Set("a", []byte("1"), 0, 0, 1)
+	c.Get("a")
+	c.Get("b")
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["cmd_get"] != "2" || stats["get_hits"] != "1" || stats["get_misses"] != "1" {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats["curr_items"] != "1" || stats["policy"] != "camp" {
+		t.Fatalf("stats = %v", stats)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("a"); ok {
+		t.Fatal("flush_all should empty the cache")
+	}
+	stats, _ = c.Stats()
+	if stats["curr_items"] != "0" {
+		t.Fatalf("curr_items after flush = %v", stats["curr_items"])
+	}
+}
+
+func TestVersionAndUnknownCommand(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+	v, err := c.Version()
+	if err != nil || !strings.Contains(v, "camp-kvs") {
+		t.Fatalf("Version = %q, %v", v, err)
+	}
+	// Raw connection for protocol-level checks.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "bogus command\r\n")
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); got != "ERROR\r\n" {
+		t.Fatalf("unknown command response = %q", got)
+	}
+}
+
+func TestMalformedSet(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, cmd := range []string{
+		"set onlykey\r\n",
+		"set k notanum 0 5\r\nhello\r\n",
+		"set k 0 0 -3\r\n",
+	} {
+		fmt.Fprint(conn, cmd)
+		buf := make([]byte, 128)
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(buf[:n]), "CLIENT_ERROR") {
+			t.Fatalf("cmd %q: response %q", cmd, buf[:n])
+		}
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20, MaxValueBytes: 64})
+	c := dial(t, s)
+	err := c.Set("big", make([]byte, 128), 0, 0, 1)
+	if err == nil {
+		t.Fatal("oversized value should be rejected")
+	}
+	// The connection must remain usable (payload drained).
+	if err := c.Set("ok", []byte("x"), 0, 0, 1); err != nil {
+		t.Fatalf("connection broken after oversized set: %v", err)
+	}
+}
+
+func TestClientDisconnectMidCommand(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Announce a 100-byte value but hang up after 10 bytes.
+	fmt.Fprintf(conn, "set k 0 0 100\r\n0123456789")
+	conn.Close()
+	// The server must survive; prove it with a fresh client.
+	time.Sleep(20 * time.Millisecond)
+	c := dial(t, s)
+	if err := c.Set("alive", []byte("yes"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get("alive"); !ok || string(v) != "yes" {
+		t.Fatal("server did not survive mid-command disconnect")
+	}
+}
+
+func TestNoreply(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "set k 0 0 2 7 noreply\r\nhi\r\nget k\r\n")
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(buf[:n])
+	if strings.Contains(got, "STORED") {
+		t.Fatalf("noreply set must not answer: %q", got)
+	}
+	if !strings.Contains(got, "VALUE k 0 2") {
+		t.Fatalf("get after noreply set = %q", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20, Policy: "camp"})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := kvclient.Dial(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", id, i%20)
+				if _, ok, err := c.Get(key); err != nil {
+					errs <- err
+					return
+				} else if !ok {
+					if err := c.Set(key, []byte(key), 0, 0, int64(i%100+1)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSlabCalcificationEndToEnd drives the slab-mode server into
+// calcification and verifies random slab eviction rescues it.
+func TestSlabCalcificationEndToEnd(t *testing.T) {
+	s := startServer(t, Config{
+		MemoryBytes:  4 << 14, // 4 slabs of 16 KiB
+		Mode:         ModeSlab,
+		SlabSize:     1 << 14,
+		ItemOverhead: 1,
+	})
+	c := dial(t, s)
+	// Fill all slabs with small items.
+	for i := 0; i < 700; i++ {
+		if err := c.Set(fmt.Sprintf("small%d", i), make([]byte, 80), 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A large item needs a new class; only random slab eviction can help.
+	if err := c.Set("large", make([]byte, 8000), 0, 0, 1); err != nil {
+		t.Fatalf("large set should trigger random slab eviction, got %v", err)
+	}
+	if _, ok, _ := c.Get("large"); !ok {
+		t.Fatal("large item should be resident")
+	}
+}

@@ -1,0 +1,354 @@
+package kvserver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"camp/internal/alloc"
+	"camp/internal/cache"
+	"camp/internal/core"
+)
+
+// item is one stored key-value pair. Callers hold the server mutex.
+type item struct {
+	value     []byte
+	flags     uint32
+	expiresAt time.Time // zero means no expiry
+	handle    alloc.Handle
+	buddyOff  int64
+}
+
+// store manages items under one of the three §5 memory-management schemes.
+type store struct {
+	cfg   Config
+	items map[string]*item
+
+	// byte and buddy modes.
+	policy  cache.Policy
+	evicter cache.Evicter
+
+	// slab mode (Twemcache layout: per-class LRU ordering).
+	slab     *alloc.SlabAllocator
+	classLRU []*cache.LRU
+
+	// buddy mode.
+	buddy *alloc.BuddyAllocator
+
+	evicted uint64
+}
+
+func newStore(cfg Config) (*store, error) {
+	st := &store{cfg: cfg, items: make(map[string]*item)}
+	switch cfg.Mode {
+	case ModeByte:
+		p, err := buildPolicy(cfg, cfg.MemoryBytes)
+		if err != nil {
+			return nil, err
+		}
+		st.policy = p
+	case ModeBuddy:
+		minBlock := cfg.MinBlock
+		if minBlock == 0 {
+			minBlock = 64
+		}
+		b, err := alloc.NewBuddyAllocator(cfg.MemoryBytes, minBlock)
+		if err != nil {
+			return nil, err
+		}
+		st.buddy = b
+		p, err := buildPolicy(cfg, b.ArenaSize())
+		if err != nil {
+			return nil, err
+		}
+		st.policy = p
+	case ModeSlab:
+		var opts []alloc.SlabOption
+		if cfg.SlabSize > 0 {
+			opts = append(opts, alloc.WithSlabSize(cfg.SlabSize))
+		}
+		a, err := alloc.NewSlabAllocator(cfg.MemoryBytes, opts...)
+		if err != nil {
+			return nil, err
+		}
+		st.slab = a
+		st.classLRU = make([]*cache.LRU, a.NumClasses())
+		for i := range st.classLRU {
+			st.classLRU[i] = cache.NewLRU(math.MaxInt64)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %q", errBadConfig, cfg.Mode)
+	}
+	if st.policy != nil {
+		ev, ok := st.policy.(cache.Evicter)
+		if !ok && cfg.Mode == ModeBuddy {
+			return nil, fmt.Errorf("%w: policy %q cannot drive buddy eviction", errBadConfig, cfg.Policy)
+		}
+		st.evicter = ev
+		st.policy.SetEvictFunc(st.onPolicyEvict)
+	}
+	return st, nil
+}
+
+func buildPolicy(cfg Config, capacity int64) (cache.Policy, error) {
+	switch cfg.Policy {
+	case "camp":
+		return core.NewCamp(capacity, core.WithPrecision(cfg.Precision)), nil
+	case "lru":
+		return cache.NewLRU(capacity), nil
+	case "gds":
+		return core.NewGDS(capacity), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %q", errBadConfig, cfg.Policy)
+	}
+}
+
+// onPolicyEvict keeps the item map (and buddy arena) in sync with policy
+// evictions.
+func (st *store) onPolicyEvict(e cache.Entry) {
+	it, ok := st.items[e.Key]
+	if !ok {
+		return
+	}
+	if st.buddy != nil {
+		st.buddy.Free(it.buddyOff)
+	}
+	delete(st.items, e.Key)
+	st.evicted++
+}
+
+func (st *store) itemSize(key string, value []byte) int64 {
+	return int64(len(key)) + int64(len(value)) + st.cfg.ItemOverhead
+}
+
+func (st *store) get(key string, now time.Time) (*item, bool) {
+	it, ok := st.items[key]
+	if ok && !it.expiresAt.IsZero() && now.After(it.expiresAt) {
+		st.delete(key)
+		it, ok = nil, false
+	}
+	if st.slab != nil {
+		if !ok {
+			return nil, false
+		}
+		st.classLRU[it.handle.Class()].Get(key)
+		return it, true
+	}
+	if !st.policy.Get(key) {
+		return nil, false
+	}
+	return it, true
+}
+
+func (st *store) set(key string, value []byte, flags uint32, ttl, cost int64, now time.Time) bool {
+	var expires time.Time
+	if ttl > 0 {
+		expires = now.Add(time.Duration(ttl) * time.Second)
+	}
+	it := &item{value: value, flags: flags, expiresAt: expires}
+	size := st.itemSize(key, value)
+	switch {
+	case st.slab != nil:
+		return st.setSlab(key, it, size, cost)
+	case st.buddy != nil:
+		return st.setBuddy(key, it, size, cost)
+	default:
+		if !st.policy.Set(key, size, cost) {
+			delete(st.items, key) // a failed grow drops the entry
+			return false
+		}
+		st.items[key] = it
+		return true
+	}
+}
+
+func (st *store) setBuddy(key string, it *item, size, cost int64) bool {
+	// Replace any previous version first so we never evict ourselves.
+	st.deleteBuddy(key)
+	blockSize, err := st.buddy.BlockSize(size)
+	if err != nil {
+		return false
+	}
+	off, err := st.allocBuddy(size)
+	if err != nil {
+		return false
+	}
+	if !st.policy.Set(key, blockSize, cost) {
+		st.buddy.Free(off)
+		return false
+	}
+	it.buddyOff = off
+	st.items[key] = it
+	return true
+}
+
+func (st *store) allocBuddy(size int64) (int64, error) {
+	for {
+		off, err := st.buddy.Alloc(size)
+		if err == nil {
+			return off, nil
+		}
+		if !errors.Is(err, alloc.ErrNoMemory) {
+			return 0, err
+		}
+		// The policy picks a victim; its callback frees the block.
+		if _, ok := st.evicter.EvictOne(); !ok {
+			return 0, err
+		}
+	}
+}
+
+func (st *store) setSlab(key string, it *item, size, cost int64) bool {
+	st.deleteSlab(key)
+	class, err := st.slab.ClassFor(size)
+	if err != nil {
+		return false
+	}
+	h, err := st.allocSlab(key, class, size)
+	if err != nil {
+		return false
+	}
+	it.handle = h
+	st.items[key] = it
+	// Size 0 in the class LRU: the allocator owns space accounting.
+	st.classLRU[class].Set(key, 0, cost)
+	return true
+}
+
+// allocSlab implements Twemcache's §5 strategy: free chunk or new slab
+// (inside Alloc), then per-class LRU eviction, then random slab eviction.
+func (st *store) allocSlab(key string, class int, size int64) (alloc.Handle, error) {
+	for {
+		h, err := st.slab.Alloc(key, size)
+		if err == nil {
+			return h, nil
+		}
+		if !errors.Is(err, alloc.ErrNoMemory) {
+			return alloc.Handle{}, err
+		}
+		if victim, ok := st.classLRU[class].EvictOne(); ok {
+			st.purgeSlabVictim(victim.Key)
+			continue
+		}
+		// No item of this class to evict: random slab eviction.
+		owners, ok := st.slab.ReassignRandomSlab(class)
+		if !ok {
+			return alloc.Handle{}, alloc.ErrNoMemory
+		}
+		for _, owner := range owners {
+			if o, exists := st.items[owner]; exists {
+				st.classLRU[o.handle.Class()].Delete(owner)
+				delete(st.items, owner)
+				st.evicted++
+			}
+		}
+	}
+}
+
+// purgeSlabVictim removes a class-LRU victim's chunk and value.
+func (st *store) purgeSlabVictim(key string) {
+	it, ok := st.items[key]
+	if !ok {
+		return
+	}
+	st.slab.Free(it.handle)
+	delete(st.items, key)
+	st.evicted++
+}
+
+func (st *store) delete(key string) bool {
+	switch {
+	case st.slab != nil:
+		return st.deleteSlab(key)
+	case st.buddy != nil:
+		return st.deleteBuddy(key)
+	default:
+		if !st.policy.Delete(key) {
+			return false
+		}
+		delete(st.items, key)
+		return true
+	}
+}
+
+func (st *store) deleteSlab(key string) bool {
+	it, ok := st.items[key]
+	if !ok {
+		return false
+	}
+	st.classLRU[it.handle.Class()].Delete(key)
+	st.slab.Free(it.handle)
+	delete(st.items, key)
+	return true
+}
+
+func (st *store) deleteBuddy(key string) bool {
+	it, ok := st.items[key]
+	if !ok {
+		return false
+	}
+	st.policy.Delete(key)
+	st.buddy.Free(it.buddyOff)
+	delete(st.items, key)
+	return true
+}
+
+func (st *store) peek(key string) (*item, cache.Entry, bool) {
+	it, ok := st.items[key]
+	if !ok {
+		return nil, cache.Entry{}, false
+	}
+	if st.slab != nil {
+		e, _ := st.classLRU[it.handle.Class()].Peek(key)
+		e.Size = st.itemSize(key, it.value)
+		return it, e, true
+	}
+	e, ok := st.policy.Peek(key)
+	return it, e, ok
+}
+
+func (st *store) flush() {
+	fresh, err := newStore(st.cfg)
+	if err != nil {
+		// The config was already validated at construction.
+		panic("kvserver: flush rebuild failed: " + err.Error())
+	}
+	*st = *fresh
+}
+
+func (st *store) len() int { return len(st.items) }
+
+func (st *store) used() int64 {
+	switch {
+	case st.slab != nil:
+		var total int64
+		for _, cs := range st.slab.Stats() {
+			total += int64(cs.UsedChunks) * cs.ChunkSize
+		}
+		return total
+	default:
+		return st.policy.Used()
+	}
+}
+
+func (st *store) evictions() uint64 {
+	if st.policy != nil {
+		return st.policy.Stats().Evictions
+	}
+	return st.evicted
+}
+
+func (st *store) policyName() string {
+	if st.slab != nil {
+		return "lru-slab"
+	}
+	return st.policy.Name()
+}
+
+func (st *store) queueCount() int {
+	if qc, ok := st.policy.(cache.QueueCounter); ok {
+		return qc.QueueCount()
+	}
+	return -1
+}

@@ -1,0 +1,350 @@
+package nheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap(arity int) *Heap[int] {
+	return New(func(a, b int) bool { return a < b }, WithArity[int](arity))
+}
+
+func TestPushPopSorted(t *testing.T) {
+	for _, arity := range []int{2, 3, 4, 8} {
+		h := intHeap(arity)
+		in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0, 5, 3}
+		for _, v := range in {
+			h.Push(v)
+			if bad := h.Verify(); bad != -1 {
+				t.Fatalf("arity %d: invariant violated at %d after push", arity, bad)
+			}
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		for i, w := range want {
+			if top, ok := h.Peek(); !ok || top != w {
+				t.Fatalf("arity %d: Peek #%d = %d, want %d", arity, i, top, w)
+			}
+			if got := h.Pop(); got != w {
+				t.Fatalf("arity %d: Pop #%d = %d, want %d", arity, i, got, w)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("arity %d: Len = %d after draining", arity, h.Len())
+		}
+	}
+}
+
+func TestPeekEmpty(t *testing.T) {
+	h := intHeap(8)
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap should report !ok")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	intHeap(8).Pop()
+}
+
+func TestBadArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	intHeap(1)
+}
+
+// tracked is a heap item that records its own heap slot.
+type tracked struct {
+	key int
+	idx int
+}
+
+func trackedHeap(arity int) *Heap[*tracked] {
+	return New(
+		func(a, b *tracked) bool { return a.key < b.key },
+		WithArity[*tracked](arity),
+		WithIndexTracking(func(it *tracked, i int) { it.idx = i }),
+	)
+}
+
+func TestIndexTracking(t *testing.T) {
+	h := trackedHeap(4)
+	items := make([]*tracked, 50)
+	rng := rand.New(rand.NewSource(7))
+	for i := range items {
+		items[i] = &tracked{key: rng.Intn(100), idx: -1}
+		h.Push(items[i])
+	}
+	checkIdx := func() {
+		t.Helper()
+		inHeap := 0
+		for _, it := range items {
+			if it.idx == -1 {
+				continue
+			}
+			inHeap++
+			if it.idx < 0 || it.idx >= h.Len() || h.Items()[it.idx] != it {
+				t.Fatalf("index tracking broken: item key=%d claims slot %d", it.key, it.idx)
+			}
+		}
+		if inHeap != h.Len() {
+			t.Fatalf("tracked %d in-heap items, heap has %d", inHeap, h.Len())
+		}
+	}
+	checkIdx()
+
+	// Mutate keys and Fix.
+	for i := 0; i < 200; i++ {
+		it := items[rng.Intn(len(items))]
+		if it.idx == -1 {
+			continue
+		}
+		it.key = rng.Intn(100)
+		h.Fix(it.idx)
+		if bad := h.Verify(); bad != -1 {
+			t.Fatalf("invariant violated at %d after Fix", bad)
+		}
+		checkIdx()
+	}
+
+	// Remove random items.
+	for _, it := range items {
+		if it.idx == -1 {
+			continue
+		}
+		h.Remove(it.idx)
+		if it.idx != -1 {
+			t.Fatalf("removed item still has idx %d", it.idx)
+		}
+		if bad := h.Verify(); bad != -1 {
+			t.Fatalf("invariant violated at %d after Remove", bad)
+		}
+		checkIdx()
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not empty after removing everything: %d", h.Len())
+	}
+}
+
+func TestRemoveViaRoot(t *testing.T) {
+	for _, arity := range []int{2, 8} {
+		h := trackedHeap(arity)
+		items := make([]*tracked, 40)
+		rng := rand.New(rand.NewSource(13))
+		for i := range items {
+			items[i] = &tracked{key: rng.Intn(100), idx: -1}
+			h.Push(items[i])
+		}
+		// Remove every item via the textbook path, in random order.
+		for _, it := range items {
+			if it.idx == -1 {
+				t.Fatal("item lost its slot")
+			}
+			got := h.RemoveViaRoot(it.idx)
+			if got != it {
+				t.Fatalf("RemoveViaRoot returned %+v, want %+v", got, it)
+			}
+			if it.idx != -1 {
+				t.Fatalf("removed item still has idx %d", it.idx)
+			}
+			if bad := h.Verify(); bad != -1 {
+				t.Fatalf("invariant violated at %d", bad)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("heap not empty: %d", h.Len())
+		}
+	}
+}
+
+func TestRemoveViaRootCostsMoreVisits(t *testing.T) {
+	// The ablation's premise: textbook deletion visits more nodes than
+	// replace-with-last for deep items.
+	build := func() *Heap[int] {
+		h := intHeap(8)
+		for i := 0; i < 4096; i++ {
+			h.Push(i)
+		}
+		h.ResetVisits()
+		return h
+	}
+	a := build()
+	for i := 0; i < 500; i++ {
+		a.Remove(a.Len() - 1) // leaf-ish removals
+	}
+	cheap := a.Visits()
+	b := build()
+	for i := 0; i < 500; i++ {
+		b.RemoveViaRoot(b.Len() - 1)
+	}
+	costly := b.Visits()
+	if costly <= cheap {
+		t.Fatalf("RemoveViaRoot visits (%d) should exceed Remove visits (%d)", costly, cheap)
+	}
+}
+
+func TestRemoveViaRootOutOfRangePanics(t *testing.T) {
+	h := intHeap(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.RemoveViaRoot(0)
+}
+
+func TestRemoveOutOfRangePanics(t *testing.T) {
+	h := intHeap(8)
+	h.Push(1)
+	for _, i := range []int{-1, 1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Remove(%d): expected panic", i)
+				}
+			}()
+			h.Remove(i)
+		}()
+	}
+}
+
+func TestFixOutOfRangePanics(t *testing.T) {
+	h := intHeap(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Fix(0)
+}
+
+func TestVisitsInstrumentation(t *testing.T) {
+	h := intHeap(8)
+	if h.Visits() != 0 {
+		t.Fatal("fresh heap should have zero visits")
+	}
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+	}
+	pushVisits := h.Visits()
+	if pushVisits == 0 {
+		t.Fatal("pushes should record visits")
+	}
+	h.ResetVisits()
+	if h.Visits() != 0 {
+		t.Fatal("ResetVisits should zero the counter")
+	}
+	h.Pop()
+	if h.Visits() == 0 {
+		t.Fatal("pops should record visits")
+	}
+}
+
+// TestVisitsScaleWithDepth checks the motivation for Figure 4: visiting cost
+// grows with heap size, so a heap over thousands of items records far more
+// visits per operation than a heap over a handful of queues.
+func TestVisitsScaleWithDepth(t *testing.T) {
+	perOp := func(n int) float64 {
+		h := intHeap(8)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < n; i++ {
+			h.Push(rng.Int())
+		}
+		h.ResetVisits()
+		const ops = 1000
+		for i := 0; i < ops; i++ {
+			h.Pop()
+			h.Push(rng.Int())
+		}
+		return float64(h.Visits()) / ops
+	}
+	small, large := perOp(16), perOp(1<<16)
+	if large <= small {
+		t.Fatalf("expected more visits/op on large heap: small=%.1f large=%.1f", small, large)
+	}
+}
+
+func TestQuickHeapSort(t *testing.T) {
+	f := func(xs []int16) bool {
+		h := intHeap(8)
+		for _, x := range xs {
+			h.Push(int(x))
+		}
+		want := make([]int, len(xs))
+		for i, x := range xs {
+			want[i] = int(x)
+		}
+		sort.Ints(want)
+		for _, w := range want {
+			if h.Pop() != w {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomOps runs a random sequence of push/pop/fix/remove against a
+// sorted-slice model.
+func TestQuickRandomOps(t *testing.T) {
+	for _, arity := range []int{2, 8} {
+		rng := rand.New(rand.NewSource(99))
+		h := trackedHeap(arity)
+		var live []*tracked
+		for op := 0; op < 5000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4:
+				it := &tracked{key: rng.Intn(1000), idx: -1}
+				h.Push(it)
+				live = append(live, it)
+			case r < 6 && len(live) > 0:
+				got := h.Pop()
+				min := live[0]
+				for _, it := range live {
+					if it.key < min.key {
+						min = it
+					}
+				}
+				if got.key != min.key {
+					t.Fatalf("arity %d: Pop key %d, want %d", arity, got.key, min.key)
+				}
+				live = removeItem(live, got)
+			case r < 8 && len(live) > 0:
+				it := live[rng.Intn(len(live))]
+				it.key = rng.Intn(1000)
+				h.Fix(it.idx)
+			case len(live) > 0:
+				it := live[rng.Intn(len(live))]
+				h.Remove(it.idx)
+				live = removeItem(live, it)
+			}
+			if bad := h.Verify(); bad != -1 {
+				t.Fatalf("arity %d: invariant broken at %d", arity, bad)
+			}
+			if h.Len() != len(live) {
+				t.Fatalf("arity %d: len %d, model %d", arity, h.Len(), len(live))
+			}
+		}
+	}
+}
+
+func removeItem(s []*tracked, it *tracked) []*tracked {
+	for i, x := range s {
+		if x == it {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

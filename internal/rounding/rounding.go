@@ -1,0 +1,105 @@
+// Package rounding implements the integer rounding scheme CAMP uses to
+// collapse cost-to-size ratios into a small number of buckets (§2 of the
+// paper, after Matias, Sahinalp and Young, "Performance Evaluation of
+// Approximate Priority Queues", DIMACS 1996).
+//
+// Given a positive integer x whose highest non-zero bit is at position b
+// (1-based), rounding to precision p zeroes out the b-p low-order bits,
+// preserving the p most significant bits starting at b. If b <= p the value
+// is unchanged. Unlike truncating a fixed number of low bits, the amount of
+// rounding is proportional to the value itself, so values of different
+// orders of magnitude stay distinct (Table 1 of the paper).
+//
+// Fractional cost-to-size ratios are first converted to integers by
+// multiplying by a lower-bound estimate of the inverse of the smallest
+// possible ratio: 1 divided by the maximum key-value size observed so far.
+// The Converter type tracks that maximum adaptively; a new maximum affects
+// only future conversions, exactly as §2 prescribes.
+package rounding
+
+import (
+	"math"
+	"math/bits"
+)
+
+// PrecisionInf disables the significant-bit rounding stage. CAMP with
+// PrecisionInf makes the same decisions as GDS on the integerized ratios
+// (the "∞" series in Figure 5a).
+const PrecisionInf = 0
+
+// Round rounds x to p significant bits using the scheme above. p ==
+// PrecisionInf returns x unchanged.
+func Round(x uint64, p uint) uint64 {
+	if p == PrecisionInf || x == 0 {
+		return x
+	}
+	b := uint(bits.Len64(x)) // position of highest non-zero bit, 1-based
+	if b <= p {
+		return x
+	}
+	return x &^ ((1 << (b - p)) - 1)
+}
+
+// Epsilon returns the worst-case relative rounding error 2^(-p+1) from
+// Proposition 3: for every x > 0, x <= (1+Epsilon(p))*Round(x, p).
+func Epsilon(p uint) float64 {
+	if p == PrecisionInf {
+		return 0
+	}
+	return math.Pow(2, -float64(p)+1)
+}
+
+// DistinctValuesBound returns the Proposition 2 upper bound on the number of
+// distinct rounded values when inputs range over 1..U:
+// (ceil(log2(U+1)) - p + 1) * 2^p. For p == PrecisionInf it returns U.
+func DistinctValuesBound(maxValue uint64, p uint) uint64 {
+	if p == PrecisionInf {
+		return maxValue
+	}
+	logU := uint64(bits.Len64(maxValue)) // == ceil(log2(U+1)) for U >= 1
+	if uint64(p) >= logU {
+		return maxValue // no rounding happens below 2^p
+	}
+	return (logU - uint64(p) + 1) << p
+}
+
+// Converter adaptively converts fractional cost/size ratios to integers.
+// The zero value is ready to use. Converter is not safe for concurrent use;
+// callers (the CAMP policy) serialize access.
+type Converter struct {
+	maxSize int64
+}
+
+// Observe records the size of a referenced key-value pair, updating the
+// lower-bound estimate 1/maxSize of the smallest possible ratio.
+func (c *Converter) Observe(size int64) {
+	if size > c.maxSize {
+		c.maxSize = size
+	}
+}
+
+// MaxSize returns the largest size observed so far.
+func (c *Converter) MaxSize() int64 { return c.maxSize }
+
+// IntRatio converts cost/size to an integer by multiplying with the current
+// maximum size and rounding to the nearest integer. A positive cost always
+// maps to at least 1 so that expensive-but-huge items are never confused
+// with free ones; a zero cost maps to 0. Sizes below 1 are clamped to 1.
+func (c *Converter) IntRatio(cost, size int64) uint64 {
+	if cost <= 0 {
+		return 0
+	}
+	if size < 1 {
+		size = 1
+	}
+	c.Observe(size)
+	r := float64(cost) / float64(size) * float64(c.maxSize)
+	v := math.Round(r)
+	if v < 1 {
+		return 1
+	}
+	if v >= math.MaxUint64/2 { // defensive: keep headroom for L growth
+		return math.MaxUint64 / 2
+	}
+	return uint64(v)
+}

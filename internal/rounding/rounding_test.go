@@ -1,0 +1,229 @@
+package rounding
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTable1 reproduces Table 1 of the paper: CAMP's rounding with
+// binary precision 4.
+func TestRoundTable1(t *testing.T) {
+	tests := []struct {
+		name string
+		give uint64
+		want uint64
+	}{
+		{name: "table1/101101011", give: 0b101101011, want: 0b101100000},
+		{name: "table1/001010011", give: 0b001010011, want: 0b001010000},
+		{name: "table1/000001010", give: 0b000001010, want: 0b000001010},
+		{name: "table1/000000111", give: 0b000000111, want: 0b000000111},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Round(tt.give, 4); got != tt.want {
+				t.Errorf("Round(%b, 4) = %b, want %b", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRoundEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		give uint64
+		p    uint
+		want uint64
+	}{
+		{name: "zero", give: 0, p: 4, want: 0},
+		{name: "one", give: 1, p: 1, want: 1},
+		{name: "p1 keeps top bit", give: 0b1111, p: 1, want: 0b1000},
+		{name: "p2", give: 0b1111, p: 2, want: 0b1100},
+		{name: "exact power stays", give: 1 << 40, p: 1, want: 1 << 40},
+		{name: "inf precision", give: 123456789, p: PrecisionInf, want: 123456789},
+		{name: "max uint64", give: ^uint64(0), p: 8, want: ^uint64(0) &^ ((1 << 56) - 1)},
+		{name: "b equals p", give: 0b1011, p: 4, want: 0b1011},
+		{name: "huge precision", give: 0b1011, p: 64, want: 0b1011},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Round(tt.give, tt.p); got != tt.want {
+				t.Errorf("Round(%b, %d) = %b, want %b", tt.give, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestRelativeErrorBound verifies Proposition 3's building block: for all x,
+// Round(x,p) <= x <= (1+eps) * Round(x,p) with eps = 2^(-p+1).
+func TestRelativeErrorBound(t *testing.T) {
+	for p := uint(1); p <= 12; p++ {
+		eps := Epsilon(p)
+		f := func(x uint64) bool {
+			if x == 0 {
+				return Round(x, p) == 0
+			}
+			r := Round(x, p)
+			if r > x {
+				return false
+			}
+			return float64(x) <= (1+eps)*float64(r)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestRoundMonotone verifies rounding preserves order: x <= y implies
+// Round(x) <= Round(y).
+func TestRoundMonotone(t *testing.T) {
+	for _, p := range []uint{1, 3, 5, 8} {
+		f := func(a, b uint64) bool {
+			x, y := a, b
+			if x > y {
+				x, y = y, x
+			}
+			return Round(x, p) <= Round(y, p)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestRoundIdempotent verifies Round(Round(x)) == Round(x).
+func TestRoundIdempotent(t *testing.T) {
+	for _, p := range []uint{1, 4, 9} {
+		f := func(x uint64) bool { return Round(Round(x, p), p) == Round(x, p) }
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestDistinctValuesBound verifies Proposition 2 by enumeration: the number
+// of distinct rounded values over 1..U never exceeds
+// (ceil(log2(U+1)) - p + 1) * 2^p.
+func TestDistinctValuesBound(t *testing.T) {
+	for _, u := range []uint64{1, 2, 7, 100, 1023, 1024, 65535} {
+		for p := uint(1); p <= 8; p++ {
+			seen := make(map[uint64]struct{})
+			for x := uint64(1); x <= u; x++ {
+				seen[Round(x, p)] = struct{}{}
+			}
+			bound := DistinctValuesBound(u, p)
+			if uint64(len(seen)) > bound {
+				t.Errorf("U=%d p=%d: %d distinct values exceeds bound %d", u, p, len(seen), bound)
+			}
+		}
+	}
+}
+
+func TestDistinctValuesBoundFormula(t *testing.T) {
+	// ceil(log2(U+1)) = bits.Len64(U) for U >= 1.
+	for _, u := range []uint64{1, 2, 3, 255, 256, 10000} {
+		want := (uint64(bits.Len64(u)) - 3 + 1) << 3
+		if uint64(bits.Len64(u)) < 3 {
+			want = u
+		}
+		if got := DistinctValuesBound(u, 3); got != want {
+			t.Errorf("DistinctValuesBound(%d, 3) = %d, want %d", u, got, want)
+		}
+	}
+	if got := DistinctValuesBound(100, PrecisionInf); got != 100 {
+		t.Errorf("DistinctValuesBound(100, inf) = %d, want 100", got)
+	}
+}
+
+func TestEpsilon(t *testing.T) {
+	tests := []struct {
+		p    uint
+		want float64
+	}{
+		{p: 1, want: 1},
+		{p: 2, want: 0.5},
+		{p: 5, want: 0.0625},
+		{p: PrecisionInf, want: 0},
+	}
+	for _, tt := range tests {
+		if got := Epsilon(tt.p); got != tt.want {
+			t.Errorf("Epsilon(%d) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestConverterAdaptiveMax(t *testing.T) {
+	var c Converter
+	if c.MaxSize() != 0 {
+		t.Fatal("zero Converter should have MaxSize 0")
+	}
+	// First item: size 100 becomes the max; ratio = cost/size*max = cost.
+	if got := c.IntRatio(500, 100); got != 500 {
+		t.Errorf("IntRatio(500,100) = %d, want 500", got)
+	}
+	if c.MaxSize() != 100 {
+		t.Errorf("MaxSize = %d, want 100", c.MaxSize())
+	}
+	// Smaller item does not lower the max.
+	if got := c.IntRatio(500, 50); got != 1000 {
+		t.Errorf("IntRatio(500,50) = %d, want 1000", got)
+	}
+	// A larger item raises the max and scales future conversions.
+	if got := c.IntRatio(500, 200); got != 500 {
+		t.Errorf("IntRatio(500,200) = %d, want 500 (new max 200)", got)
+	}
+	if c.MaxSize() != 200 {
+		t.Errorf("MaxSize = %d, want 200", c.MaxSize())
+	}
+	if got := c.IntRatio(500, 100); got != 1000 {
+		t.Errorf("IntRatio(500,100) after max=200 = %d, want 1000", got)
+	}
+}
+
+func TestConverterEdgeCases(t *testing.T) {
+	var c Converter
+	if got := c.IntRatio(0, 100); got != 0 {
+		t.Errorf("zero cost should map to 0, got %d", got)
+	}
+	if got := c.IntRatio(-5, 100); got != 0 {
+		t.Errorf("negative cost should map to 0, got %d", got)
+	}
+	// Tiny positive ratios clamp to 1, preserving "expensive > free".
+	c2 := Converter{}
+	c2.Observe(1)
+	if got := c2.IntRatio(1, 1000000); got < 1 {
+		t.Errorf("positive cost must map to >= 1, got %d", got)
+	}
+	// Zero/negative size clamps to size 1.
+	var c3 Converter
+	if got := c3.IntRatio(10, 0); got != 10 {
+		t.Errorf("IntRatio(10,0) = %d, want 10 (size clamped to 1)", got)
+	}
+}
+
+// TestConverterOrderPreserving checks that for a fixed max size, larger
+// true ratios never map to smaller integers.
+func TestConverterOrderPreserving(t *testing.T) {
+	var c Converter
+	c.Observe(1 << 20)
+	f := func(c1, s1, c2, s2 uint32) bool {
+		conv := c
+		cost1, size1 := int64(c1%1e6)+1, int64(s1%1e4)+1
+		cost2, size2 := int64(c2%1e6)+1, int64(s2%1e4)+1
+		r1 := float64(cost1) / float64(size1)
+		r2 := float64(cost2) / float64(size2)
+		i1 := conv.IntRatio(cost1, size1)
+		i2 := conv.IntRatio(cost2, size2)
+		if r1 < r2 && i1 > i2 {
+			return false
+		}
+		if r2 < r1 && i2 > i1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

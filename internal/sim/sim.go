@@ -1,0 +1,239 @@
+// Package sim drives eviction policies with reference traces and measures
+// the paper's metrics (§3): miss rate and cost-miss ratio — both excluding
+// cold requests — plus the instrumentation series behind Figures 4, 5b, 6c
+// and 6d (visited heap nodes, queue counts, occupancy of a key subset).
+//
+// The simulator mirrors the paper's setup: a request generator reads a trace
+// and issues a Get per row; on a miss it inserts the missing key-value pair,
+// which triggers evictions when memory is exhausted.
+package sim
+
+import (
+	"time"
+
+	"camp/internal/cache"
+	"camp/internal/trace"
+)
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Policy is the policy's Name().
+	Policy string
+	// Capacity is the policy's byte budget.
+	Capacity int64
+
+	// Requests counts every trace row processed.
+	Requests int64
+	// ColdRequests counts first references, excluded from all ratios.
+	ColdRequests int64
+	// Hits and Misses count warm requests only.
+	Hits, Misses int64
+	// MissCost and TotalCost sum request costs over warm misses and all
+	// warm requests respectively.
+	MissCost, TotalCost int64
+	// Rejected counts inserts refused by the policy.
+	Rejected int64
+
+	// Duration is the wall-clock simulation time.
+	Duration time.Duration
+
+	// HeapVisits is the number of heap nodes visited (CAMP/GDS only).
+	HeapVisits uint64
+	// HeapUpdates is the number of structural heap operations (CAMP/GDS).
+	HeapUpdates uint64
+	// QueueCount and MaxQueueCount report CAMP's non-empty LRU queues.
+	QueueCount, MaxQueueCount int
+
+	// FinalUsed is the occupied byte count at the end of the run.
+	FinalUsed int64
+	// Evictions is the policy's eviction count.
+	Evictions uint64
+
+	// Occupancy holds probe samples when an occupancy probe was set.
+	Occupancy []OccupancySample
+	// Groups holds per-group metrics when a group function was set.
+	Groups map[string]*GroupMetrics
+}
+
+// MissRate returns warm misses / warm requests (Figures 5d, 6b, 7, 8b, 9c).
+func (r *Result) MissRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Hits+r.Misses)
+}
+
+// CostMissRatio returns the cost of warm misses over the cost of all warm
+// requests — the paper's primary metric (Figures 5a, 5c, 6a, 8a, 9a).
+func (r *Result) CostMissRatio() float64 {
+	if r.TotalCost == 0 {
+		return 0
+	}
+	return float64(r.MissCost) / float64(r.TotalCost)
+}
+
+// OccupancySample records the bytes held by the probed key subset after a
+// given number of requests (Figures 6c and 6d track trace-1 occupancy).
+type OccupancySample struct {
+	// Requests is the number of requests processed when sampled.
+	Requests int64
+	// Bytes is the total size of resident probed keys.
+	Bytes int64
+	// Fraction is Bytes divided by the cache capacity.
+	Fraction float64
+}
+
+// GroupMetrics aggregates warm-request metrics for one request group.
+type GroupMetrics struct {
+	Requests  int64
+	Misses    int64
+	MissCost  int64
+	TotalCost int64
+}
+
+// MissRate returns the group's warm miss rate.
+func (g *GroupMetrics) MissRate() float64 {
+	if g.Requests == 0 {
+		return 0
+	}
+	return float64(g.Misses) / float64(g.Requests)
+}
+
+// Option configures a simulation run.
+type Option func(*runner)
+
+// WithOccupancyProbe samples the resident bytes of keys matched by member
+// every interval requests. Used for Figures 6c/6d with member selecting
+// trace-file-1 keys.
+func WithOccupancyProbe(member func(key string) bool, interval int64) Option {
+	return func(r *runner) {
+		r.member = member
+		r.probeEvery = interval
+	}
+}
+
+// WithGroupBy collects per-group metrics keyed by group(req), e.g. grouping
+// by cost class to show Pooled LRU's near-100% miss rate on the cheap pool.
+func WithGroupBy(group func(trace.Request) string) Option {
+	return func(r *runner) { r.group = group }
+}
+
+type runner struct {
+	member     func(string) bool
+	probeEvery int64
+	group      func(trace.Request) string
+}
+
+// Run replays src against p and returns the measured metrics.
+func Run(p cache.Policy, src trace.Source, opts ...Option) (*Result, error) {
+	var r runner
+	for _, o := range opts {
+		o(&r)
+	}
+
+	res := &Result{Policy: p.Name(), Capacity: p.Capacity()}
+	seen := make(map[string]struct{})
+	if r.group != nil {
+		res.Groups = make(map[string]*GroupMetrics)
+	}
+
+	// Occupancy tracking: resident sizes of probed keys, kept in sync via
+	// the eviction callback.
+	var (
+		memberBytes int64
+		memberSizes map[string]int64
+	)
+	if r.member != nil {
+		memberSizes = make(map[string]int64)
+		p.SetEvictFunc(func(e cache.Entry) {
+			if sz, ok := memberSizes[e.Key]; ok {
+				memberBytes -= sz
+				delete(memberSizes, e.Key)
+			}
+		})
+		defer p.SetEvictFunc(nil)
+	}
+
+	start := time.Now()
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		res.Requests++
+		_, warm := seen[req.Key]
+		if !warm {
+			seen[req.Key] = struct{}{}
+			res.ColdRequests++
+		}
+
+		hit := p.Get(req.Key)
+		if !hit {
+			if p.Set(req.Key, req.Size, req.Cost) {
+				if r.member != nil && r.member(req.Key) {
+					if old, ok := memberSizes[req.Key]; ok {
+						memberBytes -= old
+					}
+					memberSizes[req.Key] = req.Size
+					memberBytes += req.Size
+				}
+			} else {
+				res.Rejected++
+			}
+		}
+
+		if warm {
+			res.TotalCost += req.Cost
+			if hit {
+				res.Hits++
+			} else {
+				res.Misses++
+				res.MissCost += req.Cost
+			}
+			if r.group != nil {
+				g := r.group(req)
+				gm := res.Groups[g]
+				if gm == nil {
+					gm = &GroupMetrics{}
+					res.Groups[g] = gm
+				}
+				gm.Requests++
+				gm.TotalCost += req.Cost
+				if !hit {
+					gm.Misses++
+					gm.MissCost += req.Cost
+				}
+			}
+		}
+
+		if r.probeEvery > 0 && res.Requests%r.probeEvery == 0 {
+			frac := 0.0
+			if cap := p.Capacity(); cap > 0 {
+				frac = float64(memberBytes) / float64(cap)
+			}
+			res.Occupancy = append(res.Occupancy, OccupancySample{
+				Requests: res.Requests,
+				Bytes:    memberBytes,
+				Fraction: frac,
+			})
+		}
+	}
+	res.Duration = time.Since(start)
+	if err := src.Err(); err != nil {
+		return res, err
+	}
+
+	res.FinalUsed = p.Used()
+	res.Evictions = p.Stats().Evictions
+	if hv, ok := p.(cache.HeapVisitor); ok {
+		res.HeapVisits = hv.HeapVisits()
+	}
+	if hu, ok := p.(interface{ HeapUpdates() uint64 }); ok {
+		res.HeapUpdates = hu.HeapUpdates()
+	}
+	if qc, ok := p.(cache.QueueCounter); ok {
+		res.QueueCount = qc.QueueCount()
+		res.MaxQueueCount = qc.MaxQueueCount()
+	}
+	return res, nil
+}

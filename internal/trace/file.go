@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format: one request per line, "key,size,cost" (the paper's
+// "each row identifies a referenced key-value pair, its size, and cost").
+// Lines starting with '#' and blank lines are ignored.
+
+// validateTextKey rejects keys the line-oriented text format cannot
+// represent faithfully: empty or whitespace-padded keys, keys with line
+// breaks, and keys that would parse back as comments. The binary format
+// carries arbitrary keys.
+func validateTextKey(key string) error {
+	switch {
+	case key == "":
+		return errors.New("empty key")
+	case strings.TrimSpace(key) != key:
+		return errors.New("key has leading or trailing whitespace")
+	case strings.ContainsAny(key, "\r\n"):
+		return errors.New("key contains line breaks")
+	case strings.HasPrefix(key, "#"):
+		return errors.New("key starts with the comment marker '#'")
+	}
+	return nil
+}
+
+// WriteText streams src to w in the text format. Keys the format cannot
+// represent (see validateTextKey) are reported as errors; use the binary
+// format for arbitrary keys.
+func WriteText(w io.Writer, src Source) (n int64, err error) {
+	bw := bufio.NewWriter(w)
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := validateTextKey(r.Key); err != nil {
+			return n, fmt.Errorf("request %d: %w", n, err)
+		}
+		if _, err := bw.WriteString(r.Key); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString("," + strconv.FormatInt(r.Size, 10) + "," + strconv.FormatInt(r.Cost, 10) + "\n"); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := src.Err(); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// TextReader reads the text trace format as a Source.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+var _ Source = (*TextReader)(nil)
+
+// NewTextReader wraps r in a streaming text-format Source.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Source.
+func (t *TextReader) Next() (Request, bool) {
+	if t.err != nil {
+		return Request{}, false
+	}
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := parseTextLine(line)
+		if err != nil {
+			t.err = fmt.Errorf("line %d: %w", t.line, err)
+			return Request{}, false
+		}
+		return req, true
+	}
+	t.err = t.sc.Err()
+	return Request{}, false
+}
+
+// Err implements Source.
+func (t *TextReader) Err() error { return t.err }
+
+func parseTextLine(line string) (Request, error) {
+	// Split from the right so keys may contain commas.
+	j := strings.LastIndexByte(line, ',')
+	if j < 0 {
+		return Request{}, errors.New("expected key,size,cost")
+	}
+	i := strings.LastIndexByte(line[:j], ',')
+	if i < 0 {
+		return Request{}, errors.New("expected key,size,cost")
+	}
+	key := line[:i]
+	if err := validateTextKey(key); err != nil {
+		return Request{}, err
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(line[i+1:j]), 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad size: %w", err)
+	}
+	cost, err := strconv.ParseInt(strings.TrimSpace(line[j+1:]), 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad cost: %w", err)
+	}
+	if size < 0 || cost < 0 {
+		return Request{}, errors.New("negative size or cost")
+	}
+	return Request{Key: key, Size: size, Cost: cost}, nil
+}
+
+// Binary trace format: magic "CAMPTRC1", then per request a uvarint key
+// length, the key bytes, and uvarint size and cost. Compact and fast for
+// multi-million-row traces.
+
+var binaryMagic = []byte("CAMPTRC1")
+
+// WriteBinary streams src to w in the binary format.
+func WriteBinary(w io.Writer, src Source) (n int64, err error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return 0, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		k := binary.PutUvarint(buf[:], uint64(len(r.Key)))
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(r.Key); err != nil {
+			return n, err
+		}
+		k = binary.PutUvarint(buf[:], uint64(r.Size))
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return n, err
+		}
+		k = binary.PutUvarint(buf[:], uint64(r.Cost))
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := src.Err(); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// BinaryReader reads the binary trace format as a Source.
+type BinaryReader struct {
+	br      *bufio.Reader
+	err     error
+	started bool
+}
+
+var _ Source = (*BinaryReader)(nil)
+
+// NewBinaryReader wraps r in a streaming binary-format Source.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{br: bufio.NewReader(r)}
+}
+
+// Next implements Source.
+func (b *BinaryReader) Next() (Request, bool) {
+	if b.err != nil {
+		return Request{}, false
+	}
+	if !b.started {
+		b.started = true
+		magic := make([]byte, len(binaryMagic))
+		if _, err := io.ReadFull(b.br, magic); err != nil {
+			b.err = fmt.Errorf("read magic: %w", err)
+			return Request{}, false
+		}
+		if string(magic) != string(binaryMagic) {
+			b.err = errors.New("not a CAMP binary trace (bad magic)")
+			return Request{}, false
+		}
+	}
+	klen, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			b.err = fmt.Errorf("read key length: %w", err)
+		}
+		return Request{}, false
+	}
+	const maxKeyLen = 1 << 20
+	if klen > maxKeyLen {
+		b.err = fmt.Errorf("key length %d exceeds limit", klen)
+		return Request{}, false
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(b.br, key); err != nil {
+		b.err = fmt.Errorf("read key: %w", err)
+		return Request{}, false
+	}
+	size, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		b.err = fmt.Errorf("read size: %w", err)
+		return Request{}, false
+	}
+	cost, err := binary.ReadUvarint(b.br)
+	if err != nil {
+		b.err = fmt.Errorf("read cost: %w", err)
+		return Request{}, false
+	}
+	return Request{Key: string(key), Size: int64(size), Cost: int64(cost)}, true
+}
+
+// Err implements Source.
+func (b *BinaryReader) Err() error { return b.err }

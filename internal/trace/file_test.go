@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(t *testing.T) []Request {
+	t.Helper()
+	g := NewBGTrace(13, 50, 2000)
+	reqs, err := Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	reqs := sampleTrace(t)
+	var buf bytes.Buffer
+	n, err := WriteText(&buf, NewSliceSource(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(reqs)) {
+		t.Fatalf("wrote %d rows, want %d", n, len(reqs))
+	}
+	got, err := Materialize(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("read %d rows, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	reqs := sampleTrace(t)
+	var buf bytes.Buffer
+	n, err := WriteBinary(&buf, NewSliceSource(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(reqs)) {
+		t.Fatalf("wrote %d rows, want %d", n, len(reqs))
+	}
+	got, err := Materialize(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("read %d rows, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("row %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nk1,10,5\n   \nk2,20,7\n"
+	got, err := Materialize(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != "k1" || got[1].Cost != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTextKeysWithCommas(t *testing.T) {
+	in := "user,profile,42,10,5\n"
+	got, err := Materialize(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "user,profile,42" || got[0].Size != 10 || got[0].Cost != 5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTextMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "no commas", in: "justakey\n"},
+		{name: "one comma", in: "key,10\n"},
+		{name: "bad size", in: "key,abc,5\n"},
+		{name: "bad cost", in: "key,10,xyz\n"},
+		{name: "negative size", in: "key,-1,5\n"},
+		{name: "negative cost", in: "key,1,-5\n"},
+		{name: "empty key", in: ",1,5\n"},
+		{name: "whitespace key", in: " ,1,5\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Materialize(NewTextReader(strings.NewReader(tt.in)))
+			if err == nil {
+				t.Fatalf("expected parse error for %q", tt.in)
+			}
+		})
+	}
+}
+
+// TestWriteTextRejectsUnrepresentableKeys: the line-oriented format cannot
+// carry keys that would be trimmed, split, or read back as comments; the
+// writer must refuse them rather than corrupt the stream.
+func TestWriteTextRejectsUnrepresentableKeys(t *testing.T) {
+	bad := []string{"", " padded", "padded ", "with\nnewline", "with\rcr", "#comment"}
+	for _, key := range bad {
+		var buf bytes.Buffer
+		if _, err := WriteText(&buf, NewSliceSource([]Request{{Key: key, Size: 1, Cost: 1}})); err == nil {
+			t.Errorf("WriteText accepted unrepresentable key %q", key)
+		}
+	}
+	// The binary format carries all of them.
+	for _, key := range bad[1:] { // empty keys stay invalid semantically
+		var buf bytes.Buffer
+		if _, err := WriteBinary(&buf, NewSliceSource([]Request{{Key: key, Size: 1, Cost: 1}})); err != nil {
+			t.Errorf("WriteBinary rejected key %q: %v", key, err)
+		}
+		got, err := Materialize(NewBinaryReader(&buf))
+		if err != nil || len(got) != 1 || got[0].Key != key {
+			t.Errorf("binary round-trip of %q failed: %v %v", key, got, err)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := Materialize(NewBinaryReader(strings.NewReader("NOTATRACE")))
+	if err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	reqs := sampleTrace(t)[:10]
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, NewSliceSource(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	_, err := Materialize(NewBinaryReader(bytes.NewReader(raw[:len(raw)-3])))
+	if err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteBinary(&buf, NewSliceSource(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Materialize(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d rows from empty trace", len(got))
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTextLine ensures the text parser never panics and that accepted
+// lines round-trip.
+func FuzzParseTextLine(f *testing.F) {
+	f.Add("key,10,5")
+	f.Add("user,profile,42,10,5")
+	f.Add(",1,1")
+	f.Add("key,-1,5")
+	f.Add("key,999999999999999999999,5")
+	f.Add("key,10")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := parseTextLine(line)
+		if err != nil {
+			return
+		}
+		if req.Key == "" || req.Size < 0 || req.Cost < 0 {
+			t.Fatalf("parser accepted invalid request %+v from %q", req, line)
+		}
+		if strings.ContainsAny(req.Key, "\r\n") {
+			t.Fatalf("parser accepted key with line breaks from %q", line)
+		}
+		// Round-trip: re-encode and re-parse.
+		var buf bytes.Buffer
+		if _, err := WriteText(&buf, NewSliceSource([]Request{req})); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Materialize(NewTextReader(&buf))
+		if err != nil {
+			t.Fatalf("round-trip parse failed for %+v: %v", req, err)
+		}
+		if len(got) != 1 || got[0] != req {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", got, req)
+		}
+	})
+}
+
+// FuzzBinaryReader ensures the binary reader never panics or over-allocates
+// on corrupt input.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid trace and some corruptions.
+	var valid bytes.Buffer
+	_, _ = WriteBinary(&valid, NewSliceSource([]Request{
+		{Key: "alpha", Size: 10, Cost: 5},
+		{Key: "beta", Size: 20, Cost: 1},
+	}))
+	f.Add(valid.Bytes())
+	f.Add([]byte("CAMPTRC1"))
+	f.Add([]byte("NOTMAGIC"))
+	f.Add(valid.Bytes()[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		count := 0
+		for {
+			req, ok := r.Next()
+			if !ok {
+				break
+			}
+			if req.Size < 0 || req.Cost < 0 {
+				t.Fatalf("reader produced negative size/cost: %+v", req)
+			}
+			count++
+			if count > 1<<20 {
+				t.Fatal("reader produced implausibly many rows")
+			}
+		}
+		_ = r.Err()
+	})
+}

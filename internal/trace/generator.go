@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+)
+
+// SizeModel draws a key's size. It is invoked once per key with a
+// deterministic per-key random stream, so sizes do not depend on reference
+// order.
+type SizeModel func(rng *rand.Rand) int64
+
+// CostModel draws a key's cost given its size; like SizeModel it runs once
+// per key on a deterministic stream.
+type CostModel func(rng *rand.Rand, size int64) int64
+
+// SizeConstant returns a model assigning every key the same size.
+func SizeConstant(s int64) SizeModel {
+	return func(*rand.Rand) int64 { return s }
+}
+
+// SizeUniform returns sizes uniform over [min, max].
+func SizeUniform(min, max int64) SizeModel {
+	return func(rng *rand.Rand) int64 {
+		if max <= min {
+			return min
+		}
+		return min + rng.Int63n(max-min+1)
+	}
+}
+
+// SizeLogNormal returns sizes with a log-normal distribution around median,
+// clamped to [1, clampMax]. BG's key-value pairs (member profiles, friend
+// lists) have a heavy right tail that this models.
+func SizeLogNormal(median float64, sigma float64, clampMax int64) SizeModel {
+	return func(rng *rand.Rand) int64 {
+		v := int64(math.Round(median * math.Exp(rng.NormFloat64()*sigma)))
+		if v < 1 {
+			v = 1
+		}
+		if clampMax > 0 && v > clampMax {
+			v = clampMax
+		}
+		return v
+	}
+}
+
+// CostConstant assigns every key the same cost (Figure 7's workload).
+func CostConstant(c int64) CostModel {
+	return func(*rand.Rand, int64) int64 { return c }
+}
+
+// CostChoice assigns one of the given costs with equal probability — the
+// paper's synthetic {1, 100, 10K} model.
+func CostChoice(costs ...int64) CostModel {
+	return func(rng *rand.Rand, _ int64) int64 {
+		return costs[rng.Intn(len(costs))]
+	}
+}
+
+// CostUniform assigns costs uniform over [min, max] — the §3.2 equi-sized
+// trace "with many more distinct cost values".
+func CostUniform(min, max int64) CostModel {
+	return func(rng *rand.Rand, _ int64) int64 {
+		if max <= min {
+			return min
+		}
+		return min + rng.Int63n(max-min+1)
+	}
+}
+
+// CostRDBMS models the paper's measured alternative where cost is the time
+// to recompute the pair with SQL queries: a per-key base latency plus a
+// size-proportional transfer term, in microseconds.
+func CostRDBMS(baseMicros, microsPerKB int64) CostModel {
+	return func(rng *rand.Rand, size int64) int64 {
+		base := baseMicros/2 + rng.Int63n(baseMicros+1)
+		return base + size*microsPerKB/1024
+	}
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Keys is the number of distinct keys.
+	Keys int
+	// Requests is the trace length.
+	Requests int64
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Prefix namespaces keys (distinct prefixes make disjoint traces for
+	// the §3.1 evolving-workload experiment).
+	Prefix string
+	// Dist selects key popularity; nil defaults to the 70/20 hotspot.
+	Dist KeyDist
+	// Size draws per-key sizes; nil defaults to SizeUniform(100, 1000).
+	Size SizeModel
+	// Cost draws per-key costs; nil defaults to CostChoice(1, 100, 10000).
+	Cost CostModel
+}
+
+// Generator produces a deterministic request stream. Key metadata (size,
+// cost) is a pure function of (Seed, key index), so the same configuration
+// always describes the same key population regardless of reference order.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	dist    KeyDist
+	metas   []meta
+	haveTag []bool
+	emitted int64
+}
+
+type meta struct {
+	size int64
+	cost int64
+}
+
+var _ Source = (*Generator)(nil)
+
+// NewGenerator builds a Generator, applying defaults for nil fields.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1
+	}
+	if cfg.Dist == nil {
+		cfg.Dist = NewHotspot(cfg.Keys)
+	}
+	if cfg.Size == nil {
+		// BG's member profiles share a schema, so their sizes cluster
+		// in a narrow band; wide size variation is a separate workload
+		// (NewVariableSizeTrace / Figure 7).
+		cfg.Size = SizeUniform(400, 600)
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = CostChoice(1, 100, 10000)
+	}
+	return &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		dist:    cfg.Dist,
+		metas:   make([]meta, cfg.Keys),
+		haveTag: make([]bool, cfg.Keys),
+	}
+}
+
+// Next implements Source.
+func (g *Generator) Next() (Request, bool) {
+	if g.emitted >= g.cfg.Requests {
+		return Request{}, false
+	}
+	g.emitted++
+	idx := g.dist.SampleKey(g.rng)
+	m := g.meta(idx)
+	return Request{Key: g.Key(idx), Size: m.size, Cost: m.cost}, true
+}
+
+// Err implements Source.
+func (g *Generator) Err() error { return nil }
+
+// Key returns the name of key idx.
+func (g *Generator) Key(idx int) string {
+	return g.cfg.Prefix + "k" + strconv.Itoa(idx)
+}
+
+// UniqueBytes returns the total size of all keys in the key space. Note
+// this covers the whole population; a short trace may reference fewer keys
+// (use trace.UniqueBytes on a materialized trace for the exact figure).
+func (g *Generator) UniqueBytes() int64 {
+	var total int64
+	for i := 0; i < g.cfg.Keys; i++ {
+		total += g.meta(i).size
+	}
+	return total
+}
+
+// meta lazily materializes key idx's size and cost from a per-key
+// deterministic stream.
+func (g *Generator) meta(idx int) meta {
+	if g.haveTag[idx] {
+		return g.metas[idx]
+	}
+	krng := rand.New(rand.NewSource(int64(mix64(uint64(g.cfg.Seed), uint64(idx)))))
+	size := g.cfg.Size(krng)
+	if size < 1 {
+		size = 1
+	}
+	cost := g.cfg.Cost(krng, size)
+	if cost < 0 {
+		cost = 0
+	}
+	g.metas[idx] = meta{size: size, cost: cost}
+	g.haveTag[idx] = true
+	return g.metas[idx]
+}
+
+// mix64 is a splitmix64-style hash combining the seed and key index into a
+// per-key seed.
+func mix64(a, b uint64) uint64 {
+	x := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// Paper workload presets
+// ---------------------------------------------------------------------------
+
+// NewBGTrace is the §3 default workload: 70/20 skew, sizes uniform in
+// [100, 1000] bytes, synthetic per-key costs from {1, 100, 10K}.
+func NewBGTrace(seed int64, keys int, requests int64) *Generator {
+	return NewGenerator(Config{
+		Keys:     keys,
+		Requests: requests,
+		Seed:     seed,
+	})
+}
+
+// NewVariableSizeTrace is the §3.2 / Figure 7 workload: variable-sized
+// key-value pairs (heavy-tailed) whose cost is identical.
+func NewVariableSizeTrace(seed int64, keys int, requests int64) *Generator {
+	return NewGenerator(Config{
+		Keys:     keys,
+		Requests: requests,
+		Seed:     seed,
+		Size:     SizeLogNormal(500, 1.0, 20000),
+		Cost:     CostConstant(1),
+	})
+}
+
+// NewEquiSizeTrace is the §3.2 / Figure 8 workload: equal-sized key-value
+// pairs with continuously varying costs.
+func NewEquiSizeTrace(seed int64, keys int, requests int64) *Generator {
+	return NewGenerator(Config{
+		Keys:     keys,
+		Requests: requests,
+		Seed:     seed,
+		Size:     SizeConstant(500),
+		Cost:     CostUniform(1, 100000),
+	})
+}
+
+// NewEvolvingTraces builds n back-to-back traces with disjoint key spaces
+// (§3.1): once the stream moves to trace i+1, no key of trace i is ever
+// referenced again.
+func NewEvolvingTraces(seed int64, n, keysEach int, requestsEach int64) []Source {
+	out := make([]Source, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewGenerator(Config{
+			Keys:     keysEach,
+			Requests: requestsEach,
+			Seed:     seed + int64(i)*1_000_003,
+			Prefix:   "tf" + strconv.Itoa(i+1) + "-",
+		})
+	}
+	return out
+}

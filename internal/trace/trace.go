@@ -1,0 +1,212 @@
+// Package trace generates and stores key-value reference traces modeled on
+// the BG social-networking benchmark workloads used in §3 of the CAMP paper.
+//
+// A trace is a stream of requests; each request names a key together with
+// the key's size and cost. Per the paper, a key's size and cost are fixed
+// for the whole trace (assigned when the key is first minted), and the
+// reference pattern is skewed so that roughly 70% of requests touch 20% of
+// the keys. Several size/cost models reproduce the paper's workload
+// variants: synthetic costs drawn from {1, 100, 10K} (§3), variable sizes
+// with constant cost (§3.2, Figure 7), and equal sizes with continuously
+// varying costs (§3.2, Figure 8).
+package trace
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Request is one key-value reference in a trace.
+type Request struct {
+	// Key identifies the referenced key-value pair.
+	Key string
+	// Size is the pair's size in bytes (fixed per key).
+	Size int64
+	// Cost is the price to recompute the pair on a miss (fixed per key).
+	Cost int64
+}
+
+// Source is a stream of requests. Implementations follow the bufio.Scanner
+// pattern: Next returns false at the end of the stream or on error, and Err
+// reports the error, if any, afterwards.
+type Source interface {
+	// Next returns the next request, or ok == false when exhausted.
+	Next() (req Request, ok bool)
+	// Err returns the first error encountered, or nil on clean EOF.
+	Err() error
+}
+
+// SliceSource replays an in-memory request slice.
+type SliceSource struct {
+	reqs []Request
+	pos  int
+}
+
+// NewSliceSource returns a Source over reqs. The slice is not copied.
+func NewSliceSource(reqs []Request) *SliceSource { return &SliceSource{reqs: reqs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.pos >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Err implements Source.
+func (s *SliceSource) Err() error { return nil }
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Materialize drains src into a slice.
+func Materialize(src Source) ([]Request, error) {
+	var out []Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, src.Err()
+}
+
+// UniqueBytes returns the total size of the distinct keys in reqs — the
+// denominator of the paper's "cache size ratio" (KVS memory divided by the
+// total size of the unique objects in the trace).
+func UniqueBytes(reqs []Request) int64 {
+	seen := make(map[string]struct{}, len(reqs)/4+1)
+	var total int64
+	for _, r := range reqs {
+		if _, ok := seen[r.Key]; ok {
+			continue
+		}
+		seen[r.Key] = struct{}{}
+		total += r.Size
+	}
+	return total
+}
+
+// Concat chains sources back to back, as in the §3.1 evolving-access-pattern
+// experiment that replays ten disjoint trace files in sequence.
+func Concat(sources ...Source) Source { return &concatSource{sources: sources} }
+
+type concatSource struct {
+	sources []Source
+	idx     int
+	err     error
+}
+
+func (c *concatSource) Next() (Request, bool) {
+	for c.idx < len(c.sources) {
+		r, ok := c.sources[c.idx].Next()
+		if ok {
+			return r, true
+		}
+		if err := c.sources[c.idx].Err(); err != nil {
+			c.err = err
+			return Request{}, false
+		}
+		c.idx++
+	}
+	return Request{}, false
+}
+
+func (c *concatSource) Err() error { return c.err }
+
+// ---------------------------------------------------------------------------
+// Key popularity distributions
+// ---------------------------------------------------------------------------
+
+// KeyDist samples key indices in [0, n).
+type KeyDist interface {
+	// SampleKey returns a key index using rng.
+	SampleKey(rng *rand.Rand) int
+	// NumKeys returns the key-space size n.
+	NumKeys() int
+}
+
+// Hotspot is the paper's stated skew: a fraction HotAccess of requests is
+// spread uniformly over the first HotFraction of the key space, the rest
+// over the remaining keys. The defaults (0.7, 0.2) give "approximately 70%
+// of requests referencing 20% of keys".
+type Hotspot struct {
+	N           int
+	HotFraction float64 // fraction of keys that are hot (default 0.2)
+	HotAccess   float64 // fraction of requests hitting hot keys (default 0.7)
+}
+
+// NewHotspot returns the paper's default 70/20 hotspot distribution.
+func NewHotspot(n int) Hotspot { return Hotspot{N: n, HotFraction: 0.2, HotAccess: 0.7} }
+
+// SampleKey implements KeyDist.
+func (h Hotspot) SampleKey(rng *rand.Rand) int {
+	hot := int(float64(h.N) * h.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > h.N {
+		hot = h.N
+	}
+	if rng.Float64() < h.HotAccess {
+		return rng.Intn(hot)
+	}
+	if h.N == hot {
+		return rng.Intn(h.N)
+	}
+	return hot + rng.Intn(h.N-hot)
+}
+
+// NumKeys implements KeyDist.
+func (h Hotspot) NumKeys() int { return h.N }
+
+// Zipf samples key indices with probability proportional to 1/(i+1)^S using
+// an inverse-CDF table. It supports any exponent S > 0 (math/rand's Zipf
+// requires S > 1).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over n keys with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// SampleKey implements KeyDist via binary search over the CDF.
+func (z *Zipf) SampleKey(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// NumKeys implements KeyDist.
+func (z *Zipf) NumKeys() int { return len(z.cdf) }
+
+// Uniform spreads requests evenly over n keys.
+type Uniform struct{ N int }
+
+// SampleKey implements KeyDist.
+func (u Uniform) SampleKey(rng *rand.Rand) int { return rng.Intn(u.N) }
+
+// NumKeys implements KeyDist.
+func (u Uniform) NumKeys() int { return u.N }

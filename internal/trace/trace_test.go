@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHotspotSkew(t *testing.T) {
+	h := NewHotspot(1000)
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if h.SampleKey(rng) < 200 { // hot 20%
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.68 || frac > 0.72 {
+		t.Fatalf("hot fraction = %.3f, want ~0.70", frac)
+	}
+}
+
+func TestHotspotSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4} {
+		h := NewHotspot(n)
+		for i := 0; i < 1000; i++ {
+			k := h.SampleKey(rng)
+			if k < 0 || k >= n {
+				t.Fatalf("n=%d: sample %d out of range", n, k)
+			}
+		}
+	}
+}
+
+func TestZipfMonotonePopularity(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 100)
+	for i := 0; i < 300000; i++ {
+		counts[z.SampleKey(rng)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Fatalf("popularity not decreasing: c0=%d c10=%d c50=%d", counts[0], counts[10], counts[50])
+	}
+	// Key 0 should get roughly 1/H_n of the mass; just sanity-check > 3%.
+	if counts[0] < 9000 {
+		t.Fatalf("head key too unpopular: %d", counts[0])
+	}
+}
+
+func TestUniformDist(t *testing.T) {
+	u := Uniform{N: 10}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[u.SampleKey(rng)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("key %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []Request {
+		g := NewBGTrace(42, 100, 5000)
+		reqs, err := Materialize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reqs
+	}
+	a, b := mk(), mk()
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths %d, %d, want 5000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must differ somewhere.
+	g2 := NewBGTrace(43, 100, 5000)
+	c, _ := Materialize(g2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGeneratorStableMeta: a key's size and cost are fixed for the whole
+// trace and independent of reference order.
+func TestGeneratorStableMeta(t *testing.T) {
+	g := NewBGTrace(7, 50, 20000)
+	meta := make(map[string][2]int64)
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if m, seen := meta[r.Key]; seen {
+			if m[0] != r.Size || m[1] != r.Cost {
+				t.Fatalf("key %s changed meta: %v -> %d/%d", r.Key, m, r.Size, r.Cost)
+			}
+		} else {
+			meta[r.Key] = [2]int64{r.Size, r.Cost}
+		}
+	}
+	// An independent generator with the same seed assigns the same metas
+	// even though we query keys in a different order.
+	g2 := NewGenerator(Config{Keys: 50, Requests: 1, Seed: 7})
+	for i := 49; i >= 0; i-- {
+		m := g2.meta(i)
+		key := g2.Key(i)
+		if got, ok := meta[key]; ok {
+			if got[0] != m.size || got[1] != m.cost {
+				t.Fatalf("key %s meta differs across generators: %v vs %d/%d", key, got, m.size, m.cost)
+			}
+		}
+	}
+}
+
+func TestGeneratorCostChoice(t *testing.T) {
+	g := NewBGTrace(11, 3000, 30000)
+	reqs, _ := Materialize(g)
+	counts := map[int64]int{}
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		if seen[r.Key] {
+			continue
+		}
+		seen[r.Key] = true
+		counts[r.Cost]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("cost values = %v, want {1,100,10000}", counts)
+	}
+	total := counts[1] + counts[100] + counts[10000]
+	for _, c := range []int64{1, 100, 10000} {
+		frac := float64(counts[c]) / float64(total)
+		if frac < 0.25 || frac > 0.42 {
+			t.Fatalf("cost %d fraction %.3f, want ~1/3", c, frac)
+		}
+	}
+}
+
+func TestGeneratorUniqueBytes(t *testing.T) {
+	g := NewBGTrace(5, 200, 100000)
+	wantAll := g.UniqueBytes()
+	reqs, _ := Materialize(g)
+	got := UniqueBytes(reqs)
+	// A long trace over 200 keys references essentially all of them.
+	if got > wantAll {
+		t.Fatalf("trace unique bytes %d exceeds population %d", got, wantAll)
+	}
+	if float64(got) < 0.95*float64(wantAll) {
+		t.Fatalf("trace unique bytes %d too far below population %d", got, wantAll)
+	}
+}
+
+func TestEvolvingTracesDisjoint(t *testing.T) {
+	sources := NewEvolvingTraces(9, 3, 50, 1000)
+	seen := make([]map[string]bool, 3)
+	for i, src := range sources {
+		seen[i] = make(map[string]bool)
+		for {
+			r, ok := src.Next()
+			if !ok {
+				break
+			}
+			seen[i][r.Key] = true
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			for k := range seen[i] {
+				if seen[j][k] {
+					t.Fatalf("traces %d and %d share key %s", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewSliceSource([]Request{{Key: "a", Size: 1, Cost: 1}})
+	b := NewSliceSource([]Request{{Key: "b", Size: 2, Cost: 2}, {Key: "c", Size: 3, Cost: 3}})
+	src := Concat(a, b)
+	reqs, err := Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 || reqs[0].Key != "a" || reqs[1].Key != "b" || reqs[2].Key != "c" {
+		t.Fatalf("concat = %+v", reqs)
+	}
+}
+
+func TestSizeCostModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if s := SizeConstant(42)(rng); s != 42 {
+		t.Fatalf("SizeConstant = %d", s)
+	}
+	for i := 0; i < 1000; i++ {
+		if s := SizeUniform(10, 20)(rng); s < 10 || s > 20 {
+			t.Fatalf("SizeUniform out of range: %d", s)
+		}
+		if s := SizeLogNormal(500, 1, 2000)(rng); s < 1 || s > 2000 {
+			t.Fatalf("SizeLogNormal out of range: %d", s)
+		}
+		if c := CostUniform(5, 9)(rng, 0); c < 5 || c > 9 {
+			t.Fatalf("CostUniform out of range: %d", c)
+		}
+	}
+	if c := CostConstant(7)(rng, 100); c != 7 {
+		t.Fatalf("CostConstant = %d", c)
+	}
+	choice := CostChoice(1, 100)
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[choice(rng, 0)] = true
+	}
+	if !seen[1] || !seen[100] || len(seen) != 2 {
+		t.Fatalf("CostChoice values = %v", seen)
+	}
+	// RDBMS cost grows with size.
+	rc := CostRDBMS(1000, 100)
+	small := rc(rand.New(rand.NewSource(4)), 1024)
+	large := rc(rand.New(rand.NewSource(4)), 1024*100)
+	if large <= small {
+		t.Fatalf("RDBMS cost should grow with size: %d vs %d", small, large)
+	}
+	// Degenerate ranges collapse to min.
+	if s := SizeUniform(10, 10)(rng); s != 10 {
+		t.Fatalf("degenerate SizeUniform = %d", s)
+	}
+	if c := CostUniform(3, 3)(rng, 0); c != 3 {
+		t.Fatalf("degenerate CostUniform = %d", c)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	vs := NewVariableSizeTrace(1, 500, 5000)
+	reqs, _ := Materialize(vs)
+	sizes := map[int64]bool{}
+	for _, r := range reqs {
+		if r.Cost != 1 {
+			t.Fatalf("variable-size trace must have constant cost 1, got %d", r.Cost)
+		}
+		sizes[r.Size] = true
+	}
+	if len(sizes) < 50 {
+		t.Fatalf("variable-size trace has only %d distinct sizes", len(sizes))
+	}
+	eq := NewEquiSizeTrace(1, 500, 5000)
+	reqs, _ = Materialize(eq)
+	costs := map[int64]bool{}
+	for _, r := range reqs {
+		if r.Size != 500 {
+			t.Fatalf("equi-size trace must have size 500, got %d", r.Size)
+		}
+		costs[r.Cost] = true
+	}
+	if len(costs) < 50 {
+		t.Fatalf("equi-size trace has only %d distinct costs", len(costs))
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	s := NewSliceSource([]Request{{Key: "a"}, {Key: "b"}})
+	s.Next()
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatal("source should be exhausted")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Key != "a" {
+		t.Fatal("Reset should rewind")
+	}
+}

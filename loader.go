@@ -1,0 +1,81 @@
+package camp
+
+import (
+	"sync"
+	"time"
+)
+
+// loader deduplicates concurrent computations of the same key
+// (singleflight) for Cache.GetOrCompute.
+type loader struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done  chan struct{}
+	value []byte
+	err   error
+}
+
+// GetOrCompute returns the cached value for key, or runs compute to produce
+// it, caches the result and returns it. Concurrent callers for the same key
+// share a single compute invocation (they block until it finishes).
+//
+// If compute reports cost 0, the elapsed computation time in microseconds
+// is charged as the entry's cost — the same derivation the paper's IQ
+// framework applies between a get miss and the subsequent set (§4). Compute
+// errors are returned to every waiting caller and nothing is cached.
+func (c *Cache) GetOrCompute(key string, compute func() (value []byte, cost int64, err error)) ([]byte, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+
+	c.loaderOnce.Do(func() {
+		c.loader = &loader{calls: make(map[string]*call)}
+	})
+	l := c.loader
+
+	l.mu.Lock()
+	if inflight, ok := l.calls[key]; ok {
+		l.mu.Unlock()
+		<-inflight.done
+		return inflight.value, inflight.err
+	}
+	cl := &call{done: make(chan struct{})}
+	l.calls[key] = cl
+	l.mu.Unlock()
+
+	// Double-check after winning the flight: another goroutine may have
+	// stored the value between our Get and the registration.
+	if v, ok := c.Get(key); ok {
+		cl.value = v
+		c.finish(key, cl)
+		return v, nil
+	}
+
+	start := time.Now()
+	value, cost, err := compute()
+	if err != nil {
+		cl.err = err
+		c.finish(key, cl)
+		return nil, err
+	}
+	if cost <= 0 {
+		cost = time.Since(start).Microseconds()
+		if cost < 1 {
+			cost = 1
+		}
+	}
+	c.Set(key, value, cost)
+	cl.value = value
+	c.finish(key, cl)
+	return value, nil
+}
+
+func (c *Cache) finish(key string, cl *call) {
+	c.loader.mu.Lock()
+	delete(c.loader.calls, key)
+	c.loader.mu.Unlock()
+	close(cl.done)
+}

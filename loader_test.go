@@ -1,0 +1,153 @@
+package camp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetOrComputeBasic(t *testing.T) {
+	c, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	get := func() ([]byte, error) {
+		return c.GetOrCompute("k", func() ([]byte, int64, error) {
+			calls++
+			return []byte("computed"), 123, nil
+		})
+	}
+	v, err := get()
+	if err != nil || string(v) != "computed" {
+		t.Fatalf("GetOrCompute = %q, %v", v, err)
+	}
+	// Second call is a cache hit; compute must not run again.
+	v, err = get()
+	if err != nil || string(v) != "computed" {
+		t.Fatalf("GetOrCompute(hit) = %q, %v", v, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	e, ok := c.Peek("k")
+	if !ok || e.Cost != 123 {
+		t.Fatalf("Peek = %+v, %v", e, ok)
+	}
+}
+
+func TestGetOrComputeDerivesCost(t *testing.T) {
+	c, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.GetOrCompute("slow", func() ([]byte, int64, error) {
+		time.Sleep(25 * time.Millisecond)
+		return []byte("x"), 0, nil // cost 0: derive from elapsed time
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Peek("slow")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Cost < 15_000 || e.Cost > 10_000_000 {
+		t.Fatalf("derived cost = %dus, want ~25000", e.Cost)
+	}
+}
+
+func TestGetOrComputeError(t *testing.T) {
+	c, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() ([]byte, int64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Contains("k") {
+		t.Fatal("failed compute must not cache")
+	}
+	// A later successful compute works.
+	if _, err := c.GetOrCompute("k", func() ([]byte, int64, error) {
+		return []byte("ok"), 1, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetOrComputeSingleflight: N concurrent callers share one compute.
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c, err := New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 16
+	results := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrCompute("dedup", func() ([]byte, int64, error) {
+				computes.Add(1)
+				<-release
+				return []byte("shared"), 1, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = string(v)
+		}(i)
+	}
+	// Give the flight time to pile up, then release it.
+	time.Sleep(30 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, r := range results {
+		if r != "shared" {
+			t.Fatalf("caller %d got %q", i, r)
+		}
+	}
+}
+
+// TestGetOrComputeDistinctKeysParallel: flights for different keys do not
+// serialize each other.
+func TestGetOrComputeDistinctKeysParallel(t *testing.T) {
+	c, err := New(1<<20, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			if _, err := c.GetOrCompute(key, func() ([]byte, int64, error) {
+				time.Sleep(50 * time.Millisecond)
+				return []byte(key), 0, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Serialized, this would take ~400ms.
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("distinct keys appear serialized: %v", elapsed)
+	}
+}
