@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: verify fmt vet build test race fuzz
+
+verify: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent surfaces: the public cache and the TCP server.
+race:
+	$(GO) test -race ./internal/kvserver/ .
+
+# Short fuzz pass over the binary decoders.
+fuzz:
+	$(GO) test ./internal/persist/ -fuzz FuzzDecodeRecord -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s

@@ -5,22 +5,33 @@
 //
 //	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
 //	        [-precision 5] [-no-iq]
+//	        [-data-dir /var/lib/campsrv [-aof=true] [-fsync everysec]
+//	         [-snapshot-interval 5m] [-aof-limit 64MiB]]
 //
 // In IQ mode (default) the server derives each key's cost from the elapsed
 // time between a get miss and the subsequent set, as in the paper's §4
 // deployment.
+//
+// With -data-dir set, mutations are journaled to an append-only log and the
+// server warm-restarts from the newest snapshot plus the journal tail, so a
+// deploy or crash does not throw away the working set or the per-key costs
+// IQ mode spent real time learning. -aof=false switches to snapshot-only
+// durability (interval and shutdown snapshots).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"camp/internal/kvserver"
+	"camp/internal/persist"
 )
 
 func main() {
@@ -38,6 +49,12 @@ func run() error {
 		mode      = flag.String("mode", "byte", "memory management: byte, slab or buddy")
 		precision = flag.Uint("precision", 5, "CAMP rounding precision (0 = infinite)")
 		noIQ      = flag.Bool("no-iq", false, "disable IQ miss-to-set cost derivation")
+
+		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
+		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
+		fsync    = flag.String("fsync", persist.FsyncEverySec, "AOF sync policy: always, everysec or no")
+		snapshot = flag.Duration("snapshot-interval", 0, "background snapshot period (0 = size-triggered only)")
+		aofLimit = flag.String("aof-limit", "", "AOF size triggering compaction (default 64MiB)")
 	)
 	flag.Parse()
 
@@ -45,14 +62,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := kvserver.New(kvserver.Config{
+	cfg := kvserver.Config{
 		Addr:        *addr,
 		MemoryBytes: bytes,
 		Policy:      *policy,
 		Mode:        *mode,
 		Precision:   *precision,
 		DisableIQ:   *noIQ,
-	})
+	}
+	if *dataDir != "" {
+		p := &kvserver.PersistConfig{
+			Dir:              *dataDir,
+			DisableAOF:       !*aof,
+			Fsync:            *fsync,
+			SnapshotInterval: *snapshot,
+			Logf:             log.Printf,
+		}
+		if *aofLimit != "" {
+			if p.AOFLimit, err = parseSize(*aofLimit); err != nil {
+				return err
+			}
+		}
+		cfg.Persist = p
+	}
+	start := time.Now()
+	srv, err := kvserver.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -61,6 +95,10 @@ func run() error {
 	}
 	fmt.Printf("campsrv listening on %s (policy=%s mode=%s mem=%d bytes)\n",
 		srv.Addr(), *policy, *mode, bytes)
+	if *dataDir != "" {
+		fmt.Printf("campsrv: persistence in %s (aof=%v fsync=%s), recovered in %v\n",
+			*dataDir, *aof, *fsync, time.Since(start).Round(time.Millisecond))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,3 @@
+module camp
+
+go 1.24

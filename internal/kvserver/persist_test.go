@@ -1,0 +1,400 @@
+package kvserver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"camp/internal/kvclient"
+	"camp/internal/persist"
+	"camp/internal/trace"
+)
+
+// expectedItem mirrors what recovery must reproduce for an acknowledged
+// mutation: value, flags, expiry and the learned cost.
+type expectedItem struct {
+	value   string
+	flags   uint32
+	expires int64
+	cost    int64
+}
+
+// captureState snapshots a server's live items under its lock.
+func captureState(s *Server) map[string]expectedItem {
+	out := make(map[string]expectedItem)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, it := range s.store.items {
+		_, meta, ok := s.store.peek(key)
+		if !ok {
+			continue
+		}
+		out[key] = expectedItem{
+			value:   string(it.value),
+			flags:   it.flags,
+			expires: persist.ExpiresFrom(it.expiresAt),
+			cost:    meta.Cost,
+		}
+	}
+	return out
+}
+
+// TestCrashRecoveryRandomizedMix is the acceptance test: a randomized mix of
+// sets (with explicit costs), deletes and touches against an AOF-enabled
+// server, a hard stop with no graceful shutdown, and a recovery that must
+// reproduce every acknowledged mutation — value, flags, expiry and cost.
+func TestCrashRecoveryRandomizedMix(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		aofLimit int64
+	}{
+		{name: "aof-only", aofLimit: 0},
+		// A tiny limit forces several snapshot-then-truncate compactions
+		// mid-run, so recovery exercises snapshot + journal tail.
+		{name: "with-compactions", aofLimit: 4 << 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			pcfg := func() *PersistConfig {
+				return &PersistConfig{
+					Dir:      dir,
+					Fsync:    persist.FsyncAlways,
+					AOFLimit: tc.aofLimit,
+					Logf:     t.Logf,
+				}
+			}
+			cfg := Config{
+				MemoryBytes: 8 << 20, // ample: every acknowledged set stays resident
+				Policy:      "camp",
+				DisableIQ:   true,
+				Persist:     pcfg(),
+			}
+			s1 := startServer(t, cfg)
+			c := dial(t, s1)
+
+			rng := rand.New(rand.NewSource(42))
+			keys := make([]string, 200)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%03d", i)
+			}
+			for i := 0; i < 2000; i++ {
+				key := keys[rng.Intn(len(keys))]
+				switch op := rng.Intn(10); {
+				case op < 6: // set with an explicit cost
+					val := []byte(fmt.Sprintf("val-%d-%d", i, rng.Int63()))
+					ttl := int64(0)
+					if rng.Intn(3) == 0 {
+						ttl = int64(3600 + rng.Intn(3600))
+					}
+					if err := c.Set(key, val, uint32(rng.Intn(1<<16)), ttl, int64(1+rng.Intn(10000))); err != nil {
+						t.Fatal(err)
+					}
+				case op < 8: // delete
+					if _, err := c.Delete(key); err != nil {
+						t.Fatal(err)
+					}
+				default: // touch
+					if _, err := c.Touch(key, int64(1800+rng.Intn(1800))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			want := captureState(s1)
+			if len(want) == 0 {
+				t.Fatal("test produced no resident items")
+			}
+			s1.Kill() // crash: no persistence flush, no final snapshot
+
+			cfg.Persist = pcfg()
+			s2, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			got := captureState(s2)
+			if len(got) != len(want) {
+				t.Fatalf("recovered %d items, want %d", len(got), len(want))
+			}
+			for key, w := range want {
+				g, ok := got[key]
+				if !ok {
+					t.Fatalf("key %q lost in recovery", key)
+				}
+				if g != w {
+					t.Fatalf("key %q: recovered %+v, want %+v", key, g, w)
+				}
+			}
+			if tc.aofLimit > 0 && s2.recovered.SnapshotOps == 0 {
+				t.Fatal("compaction run recovered nothing from a snapshot")
+			}
+		})
+	}
+}
+
+// TestWarmHitRateAfterRecovery replays an internal/trace workload against a
+// CAMP server small enough to evict, hard-stops it, and checks the recovered
+// server reproduces the pre-restart warm hit rate exactly: journal replay
+// rebuilds CAMP's queues and heap in the original order with the original
+// costs, and CAMP is deterministic from there.
+func TestWarmHitRateAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	pcfg := func() *PersistConfig {
+		return &PersistConfig{Dir: dir, Fsync: persist.FsyncAlways, Logf: t.Logf}
+	}
+	cfg := Config{
+		MemoryBytes: 64 << 10, // forces eviction: the key population is ~3x larger
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     pcfg(),
+	}
+	s1 := startServer(t, cfg)
+	c := dial(t, s1)
+
+	genCfg := trace.Config{
+		Keys:     1000,
+		Requests: 3000,
+		Seed:     7,
+		Size:     trace.SizeUniform(60, 140),
+		Cost:     trace.CostChoice(1, 100, 10000),
+	}
+	// Warm-up phase: sets only, so the journal captures the exact mutation
+	// order the policy saw.
+	g := trace.NewGenerator(genCfg)
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if err := c.Set(req.Key, make([]byte, req.Size), 0, 0, req.Cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	measure := func(c *kvclient.Client) int {
+		hits := 0
+		g := trace.NewGenerator(genCfg) // same seed: the identical reference stream
+		for {
+			req, ok := g.Next()
+			if !ok {
+				break
+			}
+			if _, ok, err := c.Get(req.Key); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				hits++
+			}
+		}
+		return hits
+	}
+	hitsBefore := measure(c)
+	if hitsBefore == 0 || hitsBefore == int(genCfg.Requests) {
+		t.Fatalf("degenerate warm run: %d/%d hits", hitsBefore, genCfg.Requests)
+	}
+	s1.Kill()
+
+	cfg.Persist = pcfg()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.recovered.ReplayedOps == 0 {
+		t.Fatal("recovery replayed no ops")
+	}
+	hitsAfter := measure(dial(t, s2))
+	if hitsAfter != hitsBefore {
+		t.Fatalf("warm hit rate changed across recovery: %d hits before, %d after (of %d gets)",
+			hitsBefore, hitsAfter, genCfg.Requests)
+	}
+}
+
+// TestSnapshotOnlyGracefulRestart covers DisableAOF: a graceful Close writes
+// a final snapshot, and a restart warm-loads it.
+func TestSnapshotOnlyGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	pcfg := func() *PersistConfig {
+		return &PersistConfig{Dir: dir, DisableAOF: true, Logf: t.Logf}
+	}
+	cfg := Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true, Persist: pcfg()}
+	s1 := startServer(t, cfg)
+	c := dial(t, s1)
+	for i := 0; i < 50; i++ {
+		if err := c.Set(fmt.Sprintf("k%02d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Persist = pcfg()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.recovered.SnapshotOps != 50 {
+		t.Fatalf("recovered %d snapshot ops, want 50", s2.recovered.SnapshotOps)
+	}
+	s2.mu.Lock()
+	_, meta, ok := s2.store.peek("k07")
+	s2.mu.Unlock()
+	if !ok || meta.Cost != 8 {
+		t.Fatalf("k07 after snapshot restart: ok=%v cost=%d, want cost 8", ok, meta.Cost)
+	}
+}
+
+// TestSnapshotIntervalAndStats drives the background snapshot ticker and the
+// new persistence/admission stats lines.
+func TestSnapshotIntervalAndStats(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist: &PersistConfig{
+			Dir:              dir,
+			Fsync:            persist.FsyncNo,
+			SnapshotInterval: 50 * time.Millisecond,
+			Logf:             t.Logf,
+		},
+	}
+	s := startServer(t, cfg)
+	c := dial(t, s)
+	if err := c.Set("a", []byte("v"), 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.mgr.Info().Compactions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot ticker never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"rejected_sets", "persist_gen", "aof_enabled", "aof_bytes", "persist_compactions"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["aof_enabled"] != "1" {
+		t.Fatalf("aof_enabled = %q, want 1", stats["aof_enabled"])
+	}
+}
+
+// TestRejectedSetsStat proves admission pressure is visible to operators:
+// an over-capacity value is refused and counted.
+func TestRejectedSetsStat(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 4 << 10, Policy: "camp", DisableIQ: true})
+	c := dial(t, s)
+	if err := c.Set("huge", make([]byte, 6<<10), 0, 0, 1); err == nil {
+		t.Fatal("an over-capacity set must be refused")
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["rejected_sets"] != "1" {
+		t.Fatalf("rejected_sets = %q, want 1", stats["rejected_sets"])
+	}
+}
+
+func TestPersistConfigValidation(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 1 << 20, Persist: &PersistConfig{}}); err == nil {
+		t.Fatal("Persist without Dir must error")
+	}
+	if _, err := New(Config{MemoryBytes: 1 << 20, Persist: &PersistConfig{Dir: t.TempDir(), Fsync: "bogus"}}); err == nil {
+		t.Fatal("unknown fsync policy must error")
+	}
+}
+
+// TestArithPreservesExpiry pins the memcached semantics: incr/decr rewrite
+// the payload but keep the item's flags and expiration, in memory and in
+// the journal.
+func TestArithPreservesExpiry(t *testing.T) {
+	dir := t.TempDir()
+	pcfg := func() *PersistConfig {
+		return &PersistConfig{Dir: dir, Fsync: persist.FsyncAlways, Logf: t.Logf}
+	}
+	cfg := Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true, Persist: pcfg()}
+	s1 := startServer(t, cfg)
+	c := dial(t, s1)
+	if err := c.Set("counter", []byte("41"), 9, 3600, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Incr("counter", 1); err != nil || !ok || v != 42 {
+		t.Fatalf("incr: %d, %v, %v", v, ok, err)
+	}
+	wantExpiry := func(s *Server, when string) {
+		t.Helper()
+		s.mu.Lock()
+		it, ok := s.store.items["counter"]
+		s.mu.Unlock()
+		if !ok {
+			t.Fatalf("%s: counter missing", when)
+		}
+		if it.expiresAt.IsZero() {
+			t.Fatalf("%s: incr cleared the expiration", when)
+		}
+		if it.flags != 9 {
+			t.Fatalf("%s: incr changed flags to %d", when, it.flags)
+		}
+	}
+	wantExpiry(s1, "live")
+	s1.Kill()
+
+	cfg.Persist = pcfg()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wantExpiry(s2, "recovered")
+}
+
+// TestFlushAllPersists checks flush_all durably empties the store.
+func TestFlushAllPersists(t *testing.T) {
+	dir := t.TempDir()
+	pcfg := func() *PersistConfig {
+		return &PersistConfig{Dir: dir, Fsync: persist.FsyncAlways, Logf: t.Logf}
+	}
+	cfg := Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true, Persist: pcfg()}
+	s1 := startServer(t, cfg)
+	c := dial(t, s1)
+	for i := 0; i < 10; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("survivor", []byte("v"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s1.Kill()
+
+	cfg.Persist = pcfg()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := captureState(s2)
+	if len(got) != 1 {
+		t.Fatalf("recovered %d items after flush_all, want 1: %v", len(got), got)
+	}
+	if _, ok := got["survivor"]; !ok {
+		t.Fatal("post-flush set lost in recovery")
+	}
+}

@@ -18,6 +18,10 @@
 // eviction policy; "slab" reproduces Twemcache's slab classes with per-class
 // LRU and random slab eviction; "buddy" rounds sizes to power-of-two blocks
 // in a buddy arena with the configured policy choosing victims.
+//
+// With Config.Persist set, mutations are journaled through internal/persist
+// and a restart warm-loads the newest snapshot plus the journal tail, so the
+// working set and the IQ-learned costs survive crashes and deploys.
 package kvserver
 
 import (
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	"camp/internal/core"
+	"camp/internal/persist"
 )
 
 // Memory-management modes.
@@ -67,6 +72,29 @@ type Config struct {
 	DisableIQ bool
 	// MaxValueBytes rejects larger values (default 8 MiB).
 	MaxValueBytes int64
+	// Persist enables the durability subsystem when non-nil: mutations are
+	// journaled to an append-only log and the store warm-restarts from the
+	// newest snapshot plus the journal tail, costs included.
+	Persist *PersistConfig
+}
+
+// PersistConfig configures the internal/persist subsystem for a Server.
+type PersistConfig struct {
+	// Dir is the data directory (required).
+	Dir string
+	// DisableAOF turns off per-mutation journaling; durability then comes
+	// only from interval and shutdown snapshots.
+	DisableAOF bool
+	// Fsync is the AOF sync policy: persist.FsyncAlways, FsyncEverySec
+	// (default) or FsyncNo.
+	Fsync string
+	// SnapshotInterval, when positive, snapshots the store periodically in
+	// the background (each snapshot also truncates the journal).
+	SnapshotInterval time.Duration
+	// AOFLimit overrides the journal size that triggers compaction.
+	AOFLimit int64
+	// Logf receives recovery and background-sync warnings (default: none).
+	Logf func(format string, args ...any)
 }
 
 // DefaultItemOverhead approximates the per-item header of Twemcache.
@@ -81,6 +109,10 @@ type Server struct {
 	store    *store
 	missedAt map[string]time.Time
 	stats    map[string]uint64
+
+	mgr       *persist.Manager
+	recovered persist.RecoverStats
+	stopSnap  chan struct{}
 
 	wg     sync.WaitGroup
 	connMu sync.Mutex
@@ -112,13 +144,31 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		store:    st,
 		missedAt: make(map[string]time.Time),
 		stats:    make(map[string]uint64),
 		conns:    make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if p := cfg.Persist; p != nil {
+		if p.Dir == "" {
+			return nil, fmt.Errorf("kvserver: Persist.Dir is required")
+		}
+		mgr, rec, err := persist.Open(persist.Options{
+			Dir:        p.Dir,
+			Fsync:      p.Fsync,
+			DisableAOF: p.DisableAOF,
+			AOFLimit:   p.AOFLimit,
+			Logf:       p.Logf,
+		}, st.restore)
+		if err != nil {
+			return nil, fmt.Errorf("kvserver: recover: %w", err)
+		}
+		s.mgr = mgr
+		s.recovered = rec
+	}
+	return s, nil
 }
 
 // Start begins listening and serving connections.
@@ -134,7 +184,74 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.mgr != nil && s.cfg.Persist.SnapshotInterval > 0 {
+		s.stopSnap = make(chan struct{})
+		s.wg.Add(1)
+		go s.snapshotLoop(s.cfg.Persist.SnapshotInterval)
+	}
 	return nil
+}
+
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSnap:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.compactLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Snapshot forces a snapshot-then-truncate compaction now. It is a no-op
+// without persistence.
+func (s *Server) Snapshot() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactLocked()
+}
+
+// compactLocked snapshots the live store into the next generation and
+// truncates the journal. The caller holds s.mu, which keeps the snapshot
+// consistent with the journal order; moving this off the hot path is a
+// ROADMAP item.
+func (s *Server) compactLocked() {
+	if s.mgr == nil {
+		return
+	}
+	if err := s.mgr.Compact(s.store.emitOps); err != nil {
+		s.stats["persist_errors"]++
+		if s.cfg.Persist.Logf != nil {
+			s.cfg.Persist.Logf("kvserver: snapshot: %v", err)
+		}
+		return
+	}
+	s.stats["persist_snapshots"]++
+}
+
+// journalLocked appends one mutation to the AOF and compacts when the
+// journal outgrows its limit. The caller holds s.mu. Journal failures are
+// surfaced through the persist_errors stat rather than failing the client
+// op; with a healthy disk they do not happen.
+func (s *Server) journalLocked(op persist.Op) {
+	if s.mgr == nil {
+		return
+	}
+	if err := s.mgr.Append(op); err != nil {
+		s.stats["persist_errors"]++
+		if s.cfg.Persist.Logf != nil {
+			s.cfg.Persist.Logf("kvserver: journal: %v", err)
+		}
+		return
+	}
+	if s.mgr.NeedsCompaction() {
+		s.compactLocked()
+	}
 }
 
 // Addr returns the bound listen address (valid after Start).
@@ -145,24 +262,58 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener, closes live connections and waits for handlers.
+// Close stops the listener, closes live connections, waits for handlers and
+// flushes the persistence subsystem: the journal is synced, and when the AOF
+// is disabled a final snapshot captures the store.
 func (s *Server) Close() error {
+	err, wasOpen := s.stopNetwork()
+	if !wasOpen {
+		return nil
+	}
+	if s.mgr != nil {
+		if s.cfg.Persist.DisableAOF {
+			s.mu.Lock()
+			s.compactLocked()
+			s.mu.Unlock()
+		}
+		if cerr := s.mgr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Kill tears the server down without flushing persistence — no final
+// journal sync, no shutdown snapshot — simulating a crash for recovery
+// tests and demos. Orderly shutdown is Close.
+func (s *Server) Kill() {
+	_, wasOpen := s.stopNetwork()
+	if wasOpen && s.mgr != nil {
+		s.mgr.Kill()
+	}
+}
+
+// stopNetwork closes the listener and live connections and waits for all
+// handler goroutines. wasOpen is false if the server was already stopped.
+func (s *Server) stopNetwork() (err error, wasOpen bool) {
 	s.connMu.Lock()
 	if s.closed {
 		s.connMu.Unlock()
-		return nil
+		return nil, false
 	}
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
 	s.connMu.Unlock()
-	var err error
+	if s.stopSnap != nil {
+		close(s.stopSnap)
+	}
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
-	return err
+	return err, true
 }
 
 func (s *Server) acceptLoop() {
@@ -237,6 +388,11 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 		s.mu.Lock()
 		s.store.flush()
 		s.missedAt = make(map[string]time.Time)
+		// The journaled flush record makes the emptiness durable even if
+		// the compaction below fails; the compaction then truncates the
+		// now-superseded journal.
+		s.journalLocked(persist.Op{Kind: persist.KindFlush})
+		s.compactLocked()
 		s.mu.Unlock()
 		_, err := w.WriteString("OK\r\n")
 		return false, err
@@ -419,10 +575,20 @@ func (s *Server) storeLocked(cmd, key string, value []byte, flags uint32, ttl, c
 	if cost == 0 {
 		cost = 1
 	}
-	if !s.store.set(key, value, flags, ttl, cost, now) {
+	expires := expiryFrom(ttl, now)
+	if !s.store.setAbs(key, value, flags, expires, cost) {
 		s.stats["set_rejected"]++
 		return "SERVER_ERROR out of memory storing object\r\n"
 	}
+	s.journalLocked(persist.Op{
+		Kind:    persist.KindSet,
+		Key:     key,
+		Value:   value,
+		Flags:   flags,
+		Expires: persist.ExpiresFrom(expires),
+		Size:    s.store.itemSize(key, value),
+		Cost:    cost,
+	})
 	return "STORED\r\n"
 }
 
@@ -470,9 +636,21 @@ func (s *Server) handleArith(cmd string, args []string, w *bufio.Writer) error {
 			}
 			newVal := strconv.FormatUint(cur, 10)
 			cost := s.costOf(key)
-			if s.store.set(key, []byte(newVal), it.flags, 0, cost, now) {
+			// Arithmetic keeps the item's flags and expiration, as
+			// memcached does; only the payload changes.
+			if s.store.setAbs(key, []byte(newVal), it.flags, it.expiresAt, cost) {
 				reply = newVal + "\r\n"
+				s.journalLocked(persist.Op{
+					Kind:    persist.KindSet,
+					Key:     key,
+					Value:   []byte(newVal),
+					Flags:   it.flags,
+					Expires: persist.ExpiresFrom(it.expiresAt),
+					Size:    s.store.itemSize(key, []byte(newVal)),
+					Cost:    cost,
+				})
 			} else {
+				s.stats["set_rejected"]++
 				reply = "SERVER_ERROR out of memory storing object\r\n"
 			}
 		}
@@ -506,11 +684,12 @@ func (s *Server) handleTouch(args []string, w *bufio.Writer) error {
 	s.stats["cmd_touch"]++
 	it, ok := s.store.get(args[0], now)
 	if ok {
-		if ttl > 0 {
-			it.expiresAt = now.Add(time.Duration(ttl) * time.Second)
-		} else {
-			it.expiresAt = time.Time{}
-		}
+		it.expiresAt = expiryFrom(ttl, now)
+		s.journalLocked(persist.Op{
+			Kind:    persist.KindTouch,
+			Key:     args[0],
+			Expires: persist.ExpiresFrom(it.expiresAt),
+		})
 	}
 	s.mu.Unlock()
 	if noreply {
@@ -537,6 +716,9 @@ func (s *Server) handleDelete(args []string, w *bufio.Writer) error {
 	s.mu.Lock()
 	s.stats["cmd_delete"]++
 	ok := s.store.delete(args[0])
+	if ok {
+		s.journalLocked(persist.Op{Kind: persist.KindDelete, Key: args[0]})
+	}
 	s.mu.Unlock()
 	if noreply {
 		return nil
@@ -561,8 +743,27 @@ func (s *Server) handleStats(w *bufio.Writer) error {
 	lines = append(lines, fmt.Sprintf("STAT evictions %d\r\n", s.store.evictions()))
 	lines = append(lines, fmt.Sprintf("STAT policy %s\r\n", s.store.policyName()))
 	lines = append(lines, fmt.Sprintf("STAT mode %s\r\n", s.cfg.Mode))
+	// Admission pressure: how many stores the eviction policy refused.
+	lines = append(lines, fmt.Sprintf("STAT rejected_sets %d\r\n", s.store.rejected()))
 	if qc := s.store.queueCount(); qc >= 0 {
 		lines = append(lines, fmt.Sprintf("STAT camp_queues %d\r\n", qc))
+	}
+	if s.mgr != nil {
+		info := s.mgr.Info()
+		aof := 0
+		if info.AOFEnabled {
+			aof = 1
+		}
+		lines = append(lines,
+			fmt.Sprintf("STAT persist_gen %d\r\n", info.Generation),
+			fmt.Sprintf("STAT aof_enabled %d\r\n", aof),
+			fmt.Sprintf("STAT aof_bytes %d\r\n", info.AOFSize),
+			fmt.Sprintf("STAT aof_fsync %s\r\n", info.Fsync),
+			fmt.Sprintf("STAT persist_compactions %d\r\n", info.Compactions),
+			fmt.Sprintf("STAT restored_snapshot_ops %d\r\n", s.recovered.SnapshotOps),
+			fmt.Sprintf("STAT restored_aof_ops %d\r\n", s.recovered.ReplayedOps),
+			fmt.Sprintf("STAT restored_truncated_bytes %d\r\n", s.recovered.TruncatedBytes),
+		)
 	}
 	s.mu.Unlock()
 	for _, l := range lines {

@@ -9,6 +9,7 @@ import (
 	"camp/internal/alloc"
 	"camp/internal/cache"
 	"camp/internal/core"
+	"camp/internal/persist"
 )
 
 // item is one stored key-value pair. Callers hold the server mutex.
@@ -141,11 +142,21 @@ func (st *store) get(key string, now time.Time) (*item, bool) {
 	return it, true
 }
 
-func (st *store) set(key string, value []byte, flags uint32, ttl, cost int64, now time.Time) bool {
-	var expires time.Time
+// expiryFrom converts a memcached relative TTL to an absolute deadline.
+func expiryFrom(ttl int64, now time.Time) time.Time {
 	if ttl > 0 {
-		expires = now.Add(time.Duration(ttl) * time.Second)
+		return now.Add(time.Duration(ttl) * time.Second)
 	}
+	return time.Time{}
+}
+
+func (st *store) set(key string, value []byte, flags uint32, ttl, cost int64, now time.Time) bool {
+	return st.setAbs(key, value, flags, expiryFrom(ttl, now), cost)
+}
+
+// setAbs is set with an absolute expiry, the form recovery needs: journals
+// record deadlines, not TTLs, so restarts do not extend item lifetimes.
+func (st *store) setAbs(key string, value []byte, flags uint32, expires time.Time, cost int64) bool {
 	it := &item{value: value, flags: flags, expiresAt: expires}
 	size := st.itemSize(key, value)
 	switch {
@@ -351,4 +362,59 @@ func (st *store) queueCount() int {
 		return qc.QueueCount()
 	}
 	return -1
+}
+
+// rejected returns how many Set calls the eviction policy refused, so
+// operators can watch admission pressure. Slab mode has no admission policy
+// of its own and reports 0.
+func (st *store) rejected() uint64 {
+	if st.policy != nil {
+		return st.policy.Stats().Rejected
+	}
+	return 0
+}
+
+// restore re-applies one recovered journal op through the configured
+// eviction policy, so CAMP's queues and heap are rebuilt with the costs the
+// original run learned. Sets the policy now refuses (e.g. the server was
+// restarted with less memory) are skipped, mirroring live admission.
+func (st *store) restore(op persist.Op) error {
+	switch op.Kind {
+	case persist.KindSet:
+		st.setAbs(op.Key, op.Value, op.Flags, op.ExpiresAt(), op.Cost)
+	case persist.KindDelete:
+		st.delete(op.Key)
+	case persist.KindTouch:
+		if it, ok := st.items[op.Key]; ok {
+			it.expiresAt = op.ExpiresAt()
+		}
+	case persist.KindFlush:
+		st.flush()
+	default:
+		return fmt.Errorf("kvserver: unknown journal op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// emitOps streams every live entry as a snapshot op. The caller holds the
+// server mutex, so the view is consistent with the journal.
+func (st *store) emitOps(write func(persist.Op) error) error {
+	for key, it := range st.items {
+		_, meta, ok := st.peek(key)
+		if !ok {
+			continue
+		}
+		if err := write(persist.Op{
+			Kind:    persist.KindSet,
+			Key:     key,
+			Value:   it.value,
+			Flags:   it.flags,
+			Expires: persist.ExpiresFrom(it.expiresAt),
+			Size:    st.itemSize(key, it.value),
+			Cost:    meta.Cost,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,508 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fsync policies for the append-only log, mirroring Redis' appendfsync.
+const (
+	// FsyncAlways syncs after every append: no acknowledged mutation is
+	// ever lost, at a syscall per op.
+	FsyncAlways = "always"
+	// FsyncEverySec groups syncs on a one-second timer: a crash loses at
+	// most the last second of mutations. The default.
+	FsyncEverySec = "everysec"
+	// FsyncNo leaves syncing to the OS page cache.
+	FsyncNo = "no"
+)
+
+// DefaultAOFLimit is the AOF size that triggers snapshot-then-truncate
+// compaction when Options.AOFLimit is zero.
+const DefaultAOFLimit = 64 << 20
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Fsync is one of FsyncAlways, FsyncEverySec or FsyncNo
+	// (default FsyncEverySec).
+	Fsync string
+	// DisableAOF turns off journaling; durability then comes only from
+	// explicit Compact calls (snapshot-interval or shutdown snapshots).
+	DisableAOF bool
+	// AOFLimit is the AOF byte size beyond which NeedsCompaction reports
+	// true (default DefaultAOFLimit).
+	AOFLimit int64
+	// Logf, when non-nil, receives recovery warnings (torn-tail
+	// truncation) and background sync errors.
+	Logf func(format string, args ...any)
+}
+
+// RecoverStats summarizes what Open restored.
+type RecoverStats struct {
+	// Generation is the active snapshot/AOF generation after recovery.
+	Generation uint64
+	// SnapshotOps is the number of entries loaded from the snapshot.
+	SnapshotOps int
+	// ReplayedOps is the number of AOF records re-applied.
+	ReplayedOps int
+	// TruncatedBytes is how much of a torn AOF tail was discarded.
+	TruncatedBytes int64
+}
+
+// Info is a point-in-time view of the manager for stats reporting.
+type Info struct {
+	Generation   uint64
+	AOFEnabled   bool
+	AOFSize      int64
+	Fsync        string
+	Compactions  uint64
+	AppendErrors uint64
+}
+
+// Manager owns one data directory: at most one live snapshot plus one AOF
+// segment per generation. Compaction snapshots the live store into the next
+// generation and truncates the journal by switching to a fresh segment.
+//
+// Manager methods are safe for concurrent use, but callers typically
+// serialize Append/Compact behind their own store lock so the journal order
+// matches the apply order.
+type Manager struct {
+	opts Options
+
+	mu     sync.Mutex
+	gen    uint64
+	aof    *os.File
+	aofLen int64
+	dirty  bool
+	closed bool
+	buf    []byte
+
+	compactions  uint64
+	appendErrors uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var errClosed = errors.New("persist: manager is closed")
+
+// Open scans dir, restores the newest valid snapshot and replays the AOF
+// tail through apply, then opens the journal for appending. A torn final
+// AOF record is truncated with a warning (like Redis' aof-load-truncated);
+// a corrupt snapshot or mid-log corruption is refused with an error.
+func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
+	var stats RecoverStats
+	switch opts.Fsync {
+	case "":
+		opts.Fsync = FsyncEverySec
+	case FsyncAlways, FsyncEverySec, FsyncNo:
+	default:
+		return nil, stats, fmt.Errorf("persist: unknown fsync policy %q (want %s, %s or %s)",
+			opts.Fsync, FsyncAlways, FsyncEverySec, FsyncNo)
+	}
+	if opts.AOFLimit <= 0 {
+		opts.AOFLimit = DefaultAOFLimit
+	}
+	if opts.Dir == "" {
+		return nil, stats, errors.New("persist: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("persist: create dir: %w", err)
+	}
+	m := &Manager{opts: opts, stop: make(chan struct{})}
+
+	snapGens, aofGens, err := scanDir(opts.Dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	var snapGen uint64
+	if len(snapGens) > 0 {
+		snapGen = snapGens[len(snapGens)-1]
+		n, err := LoadSnapshotFile(m.snapPath(snapGen), apply)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.SnapshotOps = n
+	}
+	m.gen = snapGen
+	for i, g := range aofGens {
+		if g < snapGen {
+			continue // subsumed by the snapshot
+		}
+		last := i == len(aofGens)-1
+		n, truncated, err := m.replayAOF(m.aofPath(g), last, apply)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.ReplayedOps += n
+		stats.TruncatedBytes += truncated
+		if g > m.gen {
+			m.gen = g
+		}
+	}
+	if m.gen == 0 {
+		m.gen = 1
+	}
+	stats.Generation = m.gen
+	m.removeStaleLocked(m.gen)
+
+	if !opts.DisableAOF {
+		if err := m.openAOFLocked(m.gen); err != nil {
+			return nil, stats, err
+		}
+		if opts.Fsync == FsyncEverySec {
+			m.wg.Add(1)
+			go m.syncLoop()
+		}
+	}
+	return m, stats, nil
+}
+
+// Dir returns the data directory.
+func (m *Manager) Dir() string { return m.opts.Dir }
+
+// Info returns current journal stats.
+func (m *Manager) Info() Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Info{
+		Generation:   m.gen,
+		AOFEnabled:   !m.opts.DisableAOF,
+		AOFSize:      m.aofLen,
+		Fsync:        m.opts.Fsync,
+		Compactions:  m.compactions,
+		AppendErrors: m.appendErrors,
+	}
+}
+
+// Append journals one mutation. With FsyncAlways the record is on disk when
+// Append returns; otherwise it is in the OS page cache awaiting the next
+// group sync. Append is a no-op when the AOF is disabled.
+//
+// The record goes straight to the file: every append must reach the OS
+// anyway (for durability and size accounting), so a user-space buffer would
+// only add a copy without ever batching.
+func (m *Manager) Append(op Op) error {
+	if m.opts.DisableAOF {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	if m.aof == nil {
+		// Reopening after a failed compaction; the next Compact heals it.
+		m.appendErrors++
+		return errors.New("persist: journal segment unavailable")
+	}
+	m.buf = AppendRecord(m.buf[:0], op)
+	n, err := m.aof.Write(m.buf)
+	m.aofLen += int64(n)
+	if err != nil {
+		m.appendErrors++
+		return fmt.Errorf("persist: aof append: %w", err)
+	}
+	if m.opts.Fsync == FsyncAlways {
+		if err := m.aof.Sync(); err != nil {
+			m.appendErrors++
+			return fmt.Errorf("persist: aof sync: %w", err)
+		}
+	} else {
+		m.dirty = true
+	}
+	return nil
+}
+
+// NeedsCompaction reports whether the AOF has outgrown Options.AOFLimit, or
+// is detached after a failed segment switch (compacting again reattaches
+// it).
+func (m *Manager) NeedsCompaction() bool {
+	if m.opts.DisableAOF {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	return m.aof == nil || m.aofLen > m.opts.AOFLimit
+}
+
+// Compact writes a snapshot of the live store (emit must call write once per
+// entry) into the next generation, switches the AOF to a fresh segment, and
+// deletes the previous generation's files. The caller must guarantee emit
+// sees a state consistent with the journal order (i.e. hold the store lock).
+//
+// The snapshot rename is the commit point. Failures before it leave the
+// manager exactly as it was, appends continuing on the old segment; after
+// it the new generation is live, and a failure to open the fresh segment
+// detaches the journal (Append errors, NeedsCompaction turns true) until a
+// retry succeeds — it must never fall back to the superseded segment, which
+// recovery would skip.
+func (m *Manager) Compact(emit func(write func(Op) error) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	// Settle the old segment first: a sync failure here aborts cleanly.
+	if m.aof != nil {
+		if err := m.aof.Sync(); err != nil {
+			return fmt.Errorf("persist: aof sync: %w", err)
+		}
+	}
+	newGen := m.gen + 1
+	if _, err := WriteSnapshotFile(m.snapPath(newGen), emit); err != nil {
+		return err
+	}
+	m.gen = newGen
+	m.compactions++
+	if !m.opts.DisableAOF {
+		if m.aof != nil {
+			m.aof.Close() // best-effort: its contents are now superseded
+			m.aof = nil
+		}
+		if err := m.openAOFLocked(newGen); err != nil {
+			return err
+		}
+	}
+	m.removeStaleLocked(newGen)
+	return syncDir(m.opts.Dir)
+}
+
+// Close flushes and syncs the journal and stops the background sync loop.
+// It is idempotent.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aof == nil {
+		return nil
+	}
+	var first error
+	if err := m.aof.Sync(); err != nil {
+		first = err
+	}
+	if err := m.aof.Close(); err != nil && first == nil {
+		first = err
+	}
+	m.aof = nil
+	return first
+}
+
+// Kill releases the manager without flushing or syncing anything, simulating
+// a crash for recovery tests and demos: whatever the fsync policy already
+// put on disk is all a restart will see. Orderly shutdown is Close.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aof != nil {
+		m.aof.Close()
+		m.aof = nil
+	}
+}
+
+func (m *Manager) syncLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			if m.dirty && m.aof != nil {
+				if err := m.aof.Sync(); err != nil {
+					m.appendErrors++
+					m.logf("persist: background aof sync: %v", err)
+				} else {
+					m.dirty = false
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+func (m *Manager) snapPath(gen uint64) string {
+	return filepath.Join(m.opts.Dir, fmt.Sprintf("snap-%08d.camp", gen))
+}
+
+func (m *Manager) aofPath(gen uint64) string {
+	return filepath.Join(m.opts.Dir, fmt.Sprintf("aof-%08d.log", gen))
+}
+
+// openAOFLocked opens (creating if needed) the segment for gen in append
+// mode. A segment shorter than its header — a crash between creation and the
+// header sync — is reset to a fresh header.
+func (m *Manager) openAOFLocked(gen uint64) error {
+	path := m.aofPath(gen)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: open aof: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: stat aof: %w", err)
+	}
+	size := st.Size()
+	if size < fileHeaderLen {
+		if size != 0 {
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return fmt.Errorf("persist: reset torn aof header: %w", err)
+			}
+		}
+		if _, err := f.Write(appendFileHeader(nil, aofMagic, AOFVersion)); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: write aof header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: sync aof header: %w", err)
+		}
+		size = fileHeaderLen
+	}
+	m.aof = f
+	m.aofLen = size
+	return nil
+}
+
+// replayAOF re-applies one segment. Only the final segment may be torn: its
+// damaged tail is truncated away with a warning. Corruption anywhere else —
+// a failed CRC or a tear in a non-final segment — refuses recovery.
+func (m *Manager) replayAOF(path string, last bool, apply func(Op) error) (ops int, truncated int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: read aof: %w", err)
+	}
+	name := filepath.Base(path)
+	if len(data) < fileHeaderLen {
+		// Torn before the header finished; nothing was journaled.
+		if !last || len(data) == 0 {
+			if len(data) == 0 {
+				return 0, 0, nil
+			}
+			return 0, 0, fmt.Errorf("%w: aof %s header truncated", ErrCorruptRecord, name)
+		}
+		m.logf("persist: aof %s: truncating torn %d-byte header", name, len(data))
+		return 0, int64(len(data)), os.Truncate(path, 0)
+	}
+	if _, err := checkFileHeader(data, aofMagic, AOFVersion, "aof"); err != nil {
+		return 0, 0, fmt.Errorf("persist: aof %s: %w", name, err)
+	}
+	off := fileHeaderLen
+	for off < len(data) {
+		op, used, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			if last && errors.Is(derr, ErrShortRecord) {
+				// A torn final record: everything before off was
+				// intact, so drop the tail and keep serving.
+				tail := int64(len(data) - off)
+				m.logf("persist: aof %s: truncating torn final record (%d bytes) after %d ops",
+					name, tail, ops)
+				return ops, tail, os.Truncate(path, int64(off))
+			}
+			return ops, 0, fmt.Errorf("persist: aof %s: record %d: %w", name, ops, derr)
+		}
+		if err := apply(op); err != nil {
+			return ops, 0, fmt.Errorf("persist: aof %s: apply record %d: %w", name, ops, err)
+		}
+		off += used
+		ops++
+	}
+	return ops, 0, nil
+}
+
+// removeStaleLocked deletes snapshot and AOF files older than keepGen.
+func (m *Manager) removeStaleLocked(keepGen uint64) {
+	snaps, aofs, err := scanDir(m.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, g := range snaps {
+		if g < keepGen {
+			os.Remove(m.snapPath(g))
+		}
+	}
+	for _, g := range aofs {
+		if g < keepGen {
+			os.Remove(m.aofPath(g))
+		}
+	}
+}
+
+// scanDir lists snapshot and AOF generations present in dir, ascending.
+func scanDir(dir string) (snaps, aofs []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: read dir: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		var g uint64
+		switch name := e.Name(); {
+		case parseGen(name, "snap-", ".camp", &g):
+			snaps = append(snaps, g)
+		case parseGen(name, "aof-", ".log", &g):
+			aofs = append(aofs, g)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(aofs, func(i, j int) bool { return aofs[i] < aofs[j] })
+	return snaps, aofs, nil
+}
+
+func parseGen(name, prefix, suffix string, out *uint64) bool {
+	if len(name) != len(prefix)+8+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	var g uint64
+	for _, c := range name[len(prefix) : len(name)-len(suffix)] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		g = g*10 + uint64(c-'0')
+	}
+	if g == 0 {
+		return false
+	}
+	*out = g
+	return true
+}

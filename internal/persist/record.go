@@ -1,0 +1,229 @@
+// Package persist adds durability and warm restart to the cost-aware KVS:
+// a binary snapshot format that serializes live entries together with their
+// CAMP metadata (the per-key recomputation cost is the expensive-to-relearn
+// part), and an append-only log (AOF) that journals every mutation between
+// snapshots. Recovery loads the newest valid snapshot, replays the AOF tail,
+// and tolerates a torn final record the way Redis' aof-load-truncated does.
+//
+// The package is deliberately value-agnostic: callers describe mutations as
+// Op records (key, value, flags, expiry, size, cost) and re-apply recovered
+// Ops through whatever eviction policy they run, so CAMP's queues and heap
+// are rebuilt with their original costs rather than reset to cold defaults.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Kind discriminates journal records.
+type Kind uint8
+
+// Journal record kinds.
+const (
+	// KindSet stores or replaces a key with full metadata.
+	KindSet Kind = 1
+	// KindDelete removes a key.
+	KindDelete Kind = 2
+	// KindTouch updates a key's expiry without rewriting the value.
+	KindTouch Kind = 3
+	// KindFlush empties the whole store (memcached flush_all). It carries
+	// no key; journaling it makes a flush durable even when the
+	// snapshot-then-truncate that normally follows fails.
+	KindFlush Kind = 4
+)
+
+// Op is one durable mutation. Snapshots are sequences of KindSet Ops; the
+// AOF additionally carries deletes and touches.
+type Op struct {
+	Kind  Kind
+	Key   string
+	Value []byte
+	// Flags is the opaque client flags word (memcached semantics).
+	Flags uint32
+	// Expires is the absolute expiry as Unix nanoseconds; 0 means none.
+	// Journaling absolute times keeps TTL semantics exact across restarts.
+	Expires int64
+	// Size is the charged size at the time the op was applied. Stores that
+	// derive size from key/value/overhead may recompute it on recovery.
+	Size int64
+	// Cost is the CAMP recomputation cost — the state that took real
+	// wall-clock time to learn and that recovery must not throw away.
+	Cost int64
+}
+
+// ExpiresAt converts the Expires field to a time.Time (zero when unset).
+func (op Op) ExpiresAt() time.Time {
+	if op.Expires == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, op.Expires)
+}
+
+// ExpiresFrom sets Expires from a time.Time (zero time means no expiry).
+func ExpiresFrom(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// Wire limits. Records beyond these are rejected as corrupt rather than
+// trusted, so a flipped length byte cannot drive a huge allocation.
+const (
+	// MaxKeyLen bounds the key length in a record.
+	MaxKeyLen = 1 << 16
+	// MaxValueLen bounds the value length in a record.
+	MaxValueLen = 1 << 30
+	// maxPayload bounds a whole record payload.
+	maxPayload = MaxValueLen + MaxKeyLen + 64
+)
+
+// recordHeaderLen is the fixed prefix of every record: a uint32 payload
+// length followed by a uint32 CRC32 (IEEE) of the payload.
+const recordHeaderLen = 8
+
+// Decoding errors.
+var (
+	// ErrShortRecord means the buffer ends mid-record — a torn write. AOF
+	// recovery treats this as "truncate here and keep serving".
+	ErrShortRecord = errors.New("persist: short record")
+	// ErrCorruptRecord means the record is structurally invalid or fails
+	// its checksum; the data cannot be trusted.
+	ErrCorruptRecord = errors.New("persist: corrupt record")
+)
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// AppendRecord appends the encoded record for op to dst and returns the
+// extended slice. Layout: uint32 payload length, uint32 CRC32(payload),
+// payload. The payload is op-kind-tagged and uses varints for all sizes.
+func AppendRecord(dst []byte, op Op) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = append(dst, byte(op.Kind))
+	dst = binary.AppendUvarint(dst, uint64(len(op.Key)))
+	dst = append(dst, op.Key...)
+	switch op.Kind {
+	case KindSet:
+		dst = binary.AppendUvarint(dst, uint64(len(op.Value)))
+		dst = append(dst, op.Value...)
+		dst = binary.LittleEndian.AppendUint32(dst, op.Flags)
+		dst = binary.AppendVarint(dst, op.Expires)
+		dst = binary.AppendVarint(dst, op.Size)
+		dst = binary.AppendVarint(dst, op.Cost)
+	case KindTouch:
+		dst = binary.AppendVarint(dst, op.Expires)
+	case KindDelete, KindFlush:
+		// Key only (empty for flush).
+	}
+	payload := dst[start+recordHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// DecodeRecord decodes one record from the front of b, returning the op and
+// the number of bytes consumed. It returns ErrShortRecord when b ends before
+// the record does (a torn tail) and ErrCorruptRecord when the checksum or
+// structure is invalid.
+func DecodeRecord(b []byte) (Op, int, error) {
+	if len(b) < recordHeaderLen {
+		return Op{}, 0, ErrShortRecord
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxPayload {
+		return Op{}, 0, fmt.Errorf("%w: payload length %d", ErrCorruptRecord, n)
+	}
+	if len(b) < recordHeaderLen+int(n) {
+		return Op{}, 0, ErrShortRecord
+	}
+	payload := b[recordHeaderLen : recordHeaderLen+int(n)]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return Op{}, 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorruptRecord, got, want)
+	}
+	op, err := decodePayload(payload)
+	if err != nil {
+		return Op{}, 0, err
+	}
+	return op, recordHeaderLen + int(n), nil
+}
+
+func decodePayload(p []byte) (Op, error) {
+	if len(p) == 0 {
+		return Op{}, fmt.Errorf("%w: empty payload", ErrCorruptRecord)
+	}
+	op := Op{Kind: Kind(p[0])}
+	p = p[1:]
+	key, p, err := decodeBytes(p, MaxKeyLen, "key")
+	if err != nil {
+		return Op{}, err
+	}
+	if len(key) == 0 && op.Kind != KindFlush {
+		return Op{}, fmt.Errorf("%w: empty key", ErrCorruptRecord)
+	}
+	if len(key) != 0 && op.Kind == KindFlush {
+		return Op{}, fmt.Errorf("%w: flush record carries a key", ErrCorruptRecord)
+	}
+	op.Key = string(key)
+	switch op.Kind {
+	case KindSet:
+		val, rest, err := decodeBytes(p, MaxValueLen, "value")
+		if err != nil {
+			return Op{}, err
+		}
+		p = rest
+		op.Value = append([]byte(nil), val...)
+		if len(p) < 4 {
+			return Op{}, fmt.Errorf("%w: missing flags", ErrCorruptRecord)
+		}
+		op.Flags = binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		if op.Expires, p, err = decodeVarint(p, "expires"); err != nil {
+			return Op{}, err
+		}
+		if op.Size, p, err = decodeVarint(p, "size"); err != nil {
+			return Op{}, err
+		}
+		if op.Cost, p, err = decodeVarint(p, "cost"); err != nil {
+			return Op{}, err
+		}
+		if op.Size < 0 || op.Cost < 0 {
+			return Op{}, fmt.Errorf("%w: negative size or cost", ErrCorruptRecord)
+		}
+	case KindDelete, KindFlush:
+	case KindTouch:
+		if op.Expires, p, err = decodeVarint(p, "expires"); err != nil {
+			return Op{}, err
+		}
+	default:
+		return Op{}, fmt.Errorf("%w: unknown op kind %d", ErrCorruptRecord, op.Kind)
+	}
+	if len(p) != 0 {
+		return Op{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorruptRecord, len(p))
+	}
+	return op, nil
+}
+
+func decodeBytes(p []byte, limit uint64, what string) ([]byte, []byte, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > limit {
+		return nil, nil, fmt.Errorf("%w: bad %s length", ErrCorruptRecord, what)
+	}
+	p = p[w:]
+	if uint64(len(p)) < n {
+		return nil, nil, fmt.Errorf("%w: %s overruns payload", ErrCorruptRecord, what)
+	}
+	return p[:n], p[n:], nil
+}
+
+func decodeVarint(p []byte, what string) (int64, []byte, error) {
+	v, w := binary.Varint(p)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad %s varint", ErrCorruptRecord, what)
+	}
+	return v, p[w:], nil
+}

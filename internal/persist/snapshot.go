@@ -1,0 +1,188 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot format: an 8-byte magic, a uint32 format version, then a stream
+// of KindSet records (see record.go). Unlike the AOF, a snapshot is all or
+// nothing: any decode failure rejects the whole file with a clear error —
+// loading half a snapshot would silently serve a store missing entries.
+const (
+	snapshotMagic = "CAMPSNP1"
+	// SnapshotVersion is the current snapshot format version. Readers
+	// refuse snapshots written by a newer version.
+	SnapshotVersion = 1
+)
+
+// aofMagic / AOFVersion head every append-only log segment.
+const (
+	aofMagic = "CAMPAOF1"
+	// AOFVersion is the current AOF segment format version.
+	AOFVersion = 1
+)
+
+// fileHeaderLen is the byte length of a snapshot or AOF header.
+const fileHeaderLen = 12
+
+// ErrVersion reports a file written by a newer format version than this
+// build understands.
+var ErrVersion = errors.New("persist: unsupported format version")
+
+func appendFileHeader(dst []byte, magic string, version uint32) []byte {
+	dst = append(dst, magic...)
+	return binary.LittleEndian.AppendUint32(dst, version)
+}
+
+func checkFileHeader(b []byte, magic string, maxVersion uint32, what string) (uint32, error) {
+	if len(b) < fileHeaderLen {
+		return 0, fmt.Errorf("%w: %s header truncated", ErrCorruptRecord, what)
+	}
+	if !bytes.Equal(b[:8], []byte(magic)) {
+		return 0, fmt.Errorf("%w: bad %s magic %q", ErrCorruptRecord, what, b[:8])
+	}
+	v := binary.LittleEndian.Uint32(b[8:])
+	if v > maxVersion {
+		return 0, fmt.Errorf("%w: %s version %d (max supported %d)", ErrVersion, what, v, maxVersion)
+	}
+	return v, nil
+}
+
+// SnapshotWriter streams KindSet records into a snapshot.
+type SnapshotWriter struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewSnapshotWriter writes the snapshot header to w and returns a writer for
+// the entry records.
+func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
+	sw := &SnapshotWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := sw.w.Write(appendFileHeader(nil, snapshotMagic, SnapshotVersion)); err != nil {
+		return nil, fmt.Errorf("persist: snapshot header: %w", err)
+	}
+	return sw, nil
+}
+
+// Write appends one entry. The op kind is forced to KindSet.
+func (sw *SnapshotWriter) Write(op Op) error {
+	op.Kind = KindSet
+	sw.buf = AppendRecord(sw.buf[:0], op)
+	if _, err := sw.w.Write(sw.buf); err != nil {
+		return fmt.Errorf("persist: snapshot record: %w", err)
+	}
+	sw.n++
+	return nil
+}
+
+// Len returns the number of entries written so far.
+func (sw *SnapshotWriter) Len() int { return sw.n }
+
+// Flush drains the buffered writer. The caller owns syncing the underlying
+// file.
+func (sw *SnapshotWriter) Flush() error { return sw.w.Flush() }
+
+// ReadSnapshot strictly decodes a snapshot stream, calling apply for every
+// entry. Any corruption — bad magic, failed CRC, torn record — fails the
+// whole read; see the package comment for why snapshots are all-or-nothing.
+func ReadSnapshot(r io.Reader, apply func(Op) error) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	if _, err := checkFileHeader(data, snapshotMagic, SnapshotVersion, "snapshot"); err != nil {
+		return 0, err
+	}
+	data = data[fileHeaderLen:]
+	n := 0
+	for len(data) > 0 {
+		op, used, err := DecodeRecord(data)
+		if err != nil {
+			if errors.Is(err, ErrShortRecord) {
+				err = fmt.Errorf("%w: snapshot ends mid-record", ErrCorruptRecord)
+			}
+			return n, fmt.Errorf("snapshot record %d: %w", n, err)
+		}
+		if op.Kind != KindSet {
+			return n, fmt.Errorf("snapshot record %d: %w: kind %d", n, ErrCorruptRecord, op.Kind)
+		}
+		if err := apply(op); err != nil {
+			return n, err
+		}
+		data = data[used:]
+		n++
+	}
+	return n, nil
+}
+
+// WriteSnapshotFile writes a snapshot atomically: into a temp file in the
+// same directory, fsynced, then renamed over path, then the directory is
+// fsynced so the rename survives a crash. emit receives a write callback and
+// should call it once per live entry.
+func WriteSnapshotFile(path string, emit func(write func(Op) error) error) (n int, err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("persist: snapshot temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	sw, err := NewSnapshotWriter(tmp)
+	if err != nil {
+		return 0, err
+	}
+	if err = emit(sw.Write); err != nil {
+		return 0, err
+	}
+	if err = sw.Flush(); err != nil {
+		return 0, err
+	}
+	if err = tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return 0, fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("persist: rename snapshot: %w", err)
+	}
+	return sw.Len(), syncDir(dir)
+}
+
+// LoadSnapshotFile reads the snapshot at path, applying every entry.
+func LoadSnapshotFile(path string, apply func(Op) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := ReadSnapshot(f, apply)
+	if err != nil {
+		return n, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return n, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: sync dir: %w", err)
+	}
+	return nil
+}

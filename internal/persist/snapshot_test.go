@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestSnapshot(t *testing.T, path string, ops []Op) {
+	t.Helper()
+	n, err := WriteSnapshotFile(path, func(write func(Op) error) error {
+		for _, op := range ops {
+			if err := write(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ops) {
+		t.Fatalf("wrote %d entries, want %d", n, len(ops))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-00000001.camp")
+	want := []Op{
+		{Key: "a", Value: []byte("alpha"), Flags: 1, Size: 61, Cost: 100},
+		{Key: "b", Value: []byte("beta"), Size: 60, Cost: 2500},
+		{Key: "c", Value: nil, Size: 57, Cost: 1},
+	}
+	writeTestSnapshot(t, path, want)
+	var got []Op
+	n, err := LoadSnapshotFile(path, func(op Op) error {
+		got = append(got, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("loaded %d entries, want %d", n, len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.Kind = KindSet // the writer stamps the kind
+		g := got[i]
+		if g.Key != w.Key || !bytes.Equal(g.Value, w.Value) || g.Flags != w.Flags ||
+			g.Size != w.Size || g.Cost != w.Cost || g.Kind != KindSet {
+			t.Fatalf("entry %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+// TestSnapshotRefusesCorruptCRC is the acceptance case: a bit flip inside a
+// snapshot must fail the load with a clear error, never serve garbage.
+func TestSnapshotRefusesCorruptCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-00000001.camp")
+	writeTestSnapshot(t, path, []Op{
+		{Key: "a", Value: []byte("alpha"), Size: 61, Cost: 100},
+		{Key: "b", Value: []byte("beta"), Size: 60, Cost: 2500},
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40 // corrupt the second record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	_, err = LoadSnapshotFile(path, func(Op) error { applied++; return nil })
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("corrupt snapshot: got %v, want ErrCorruptRecord", err)
+	}
+	if applied > 1 {
+		t.Fatalf("applied %d entries from a corrupt snapshot", applied)
+	}
+}
+
+func TestSnapshotRefusesTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-00000001.camp")
+	writeTestSnapshot(t, path, []Op{{Key: "a", Value: []byte("alpha"), Size: 61, Cost: 100}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path, func(Op) error { return nil }); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("truncated snapshot: got %v, want ErrCorruptRecord", err)
+	}
+}
+
+// TestSnapshotNewerVersion ensures a snapshot from a future format version
+// is refused with ErrVersion instead of being misparsed.
+func TestSnapshotNewerVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-00000001.camp")
+	writeTestSnapshot(t, path, []Op{{Key: "a", Value: []byte("alpha"), Size: 61, Cost: 100}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[8:], SnapshotVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path, func(Op) error { return nil }); !errors.Is(err, ErrVersion) {
+		t.Fatalf("newer snapshot version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap-00000001.camp")
+	if err := os.WriteFile(path, []byte("NOTMAGIC\x01\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotFile(path, func(Op) error { return nil }); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("bad magic: got %v, want ErrCorruptRecord", err)
+	}
+}

@@ -53,14 +53,15 @@ func (k PolicyKind) String() string {
 }
 
 type config struct {
-	kind        PolicyKind
-	precision   uint
-	shards      int
-	overhead    int64
-	defaultCost int64
-	admission   uint8
-	onEvict     func(Entry)
-	pools       []PoolSpec
+	kind         PolicyKind
+	precision    uint
+	shards       int
+	overhead     int64
+	defaultCost  int64
+	admission    uint8
+	onEvict      func(Entry)
+	pools        []PoolSpec
+	snapshotPath string
 }
 
 // Option configures New.
@@ -155,6 +156,21 @@ func WithDefaultCost(cost int64) Option {
 			return fmt.Errorf("camp: negative default cost %d", cost)
 		}
 		c.defaultCost = cost
+		return nil
+	})
+}
+
+// WithSnapshotFile warm-starts the cache from the snapshot at path (written
+// by SaveSnapshot) when the file exists, re-admitting entries through the
+// eviction policy so CAMP's queues are rebuilt with their original costs. A
+// missing file is a normal cold start. Call SaveSnapshot on shutdown to
+// persist the working set for the next run.
+func WithSnapshotFile(path string) Option {
+	return optionFunc(func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("camp: empty snapshot path")
+		}
+		c.snapshotPath = path
 		return nil
 	})
 }

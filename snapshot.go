@@ -1,0 +1,98 @@
+package camp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+
+	"camp/internal/persist"
+)
+
+// WriteSnapshot serializes every cached entry — key, value, charged size and
+// recomputation cost — to w in the internal/persist snapshot format. Shards
+// are locked one at a time, so concurrent writers may land between shards;
+// the result is a consistent warm-start image, not a point-in-time fence.
+func (c *Cache) WriteSnapshot(w io.Writer) error {
+	sw, err := persist.NewSnapshotWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := c.emitEntries(sw.Write); err != nil {
+		return err
+	}
+	return sw.Flush()
+}
+
+// emitEntries streams every cached entry to write, one shard at a time.
+func (c *Cache) emitEntries(write func(persist.Op) error) error {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, value := range s.values {
+			meta, ok := s.policy.Peek(key)
+			if !ok {
+				continue
+			}
+			if err := write(persist.Op{
+				Key:   key,
+				Value: value,
+				Size:  meta.Size,
+				Cost:  meta.Cost,
+			}); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// SaveSnapshot atomically writes a snapshot to the path configured with
+// WithSnapshotFile (temp file, fsync, rename). It returns the number of
+// entries written.
+func (c *Cache) SaveSnapshot() (int, error) {
+	if c.snapPath == "" {
+		return 0, errors.New("camp: no snapshot path configured (use WithSnapshotFile)")
+	}
+	return c.SaveSnapshotTo(c.snapPath)
+}
+
+// SaveSnapshotTo is SaveSnapshot with an explicit destination path.
+func (c *Cache) SaveSnapshotTo(path string) (int, error) {
+	return persist.WriteSnapshotFile(path, c.emitEntries)
+}
+
+// LoadSnapshot reads a snapshot stream and re-admits its entries through the
+// configured eviction policy, rebuilding queue/heap state with the original
+// costs. It returns how many entries the policy admitted. A corrupt or
+// newer-versioned snapshot is refused with an error and no further entries
+// are applied.
+func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
+	admitted := 0
+	_, err := persist.ReadSnapshot(r, func(op persist.Op) error {
+		if c.SetSized(op.Key, op.Value, op.Size, op.Cost) {
+			admitted++
+		}
+		return nil
+	})
+	return admitted, err
+}
+
+// loadSnapshotFile warm-starts the cache from path at construction time. A
+// missing file is a cold start, not an error.
+func (c *Cache) loadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("camp: open snapshot: %w", err)
+	}
+	defer f.Close()
+	if _, err := c.LoadSnapshot(f); err != nil {
+		return fmt.Errorf("camp: snapshot %s: %w", path, err)
+	}
+	return nil
+}

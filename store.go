@@ -17,6 +17,7 @@ type Cache struct {
 	mask     uint64
 	overhead int64
 	defCost  int64
+	snapPath string
 
 	loaderOnce sync.Once
 	loader     *loader
@@ -72,6 +73,12 @@ func New(capacity int64, opts ...Option) (*Cache, error) {
 			}
 		})
 		c.shards[i] = s
+	}
+	if cfg.snapshotPath != "" {
+		c.snapPath = cfg.snapshotPath
+		if err := c.loadSnapshotFile(cfg.snapshotPath); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }
