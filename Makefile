@@ -1,6 +1,13 @@
 GO ?= go
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: verify fmt vet build test race fuzz
+# pipefail so `go test | tee` recipes fail when go test fails, not when tee
+# does — otherwise a panicking benchmark still "succeeds" and commits a
+# partial BENCH file.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: verify fmt vet build test race race-all fuzz bench
 
 verify: fmt vet build test race
 
@@ -19,6 +26,24 @@ test:
 # Race-detect the concurrent surfaces: the public cache and the TCP server.
 race:
 	$(GO) test -race ./internal/kvserver/ .
+
+# Full race sweep, as CI runs it.
+race-all:
+	$(GO) test -race ./...
+
+# Benchmark the server throughput (the sharding tentpole) plus the policy
+# hot paths and figure pipelines, and record the run as JSON so the perf
+# trajectory is diffable across PRs.
+bench:
+	@rm -f .bench.tmp.txt
+	$(GO) test -run '^$$' -bench BenchmarkServerOps -benchmem ./internal/kvserver/ | tee -a .bench.tmp.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkGetHit|BenchmarkSetEvict|BenchmarkMixedWorkload|BenchmarkShardedCache' -benchmem . | tee -a .bench.tmp.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFig(4|5a)$$' -benchtime 1x -benchmem . | tee -a .bench.tmp.txt
+	$(GO) run ./cmd/benchfmt -out $(BENCH_OUT) \
+		-note "BenchmarkServerOps compares kvserver shard counts under parallel clients; the multi-core speedup only shows when cpus > 1 (see the cpus field) — on a single core the spread reflects per-shard overhead only." \
+		.bench.tmp.txt
+	@rm -f .bench.tmp.txt
+	@echo "wrote $(BENCH_OUT)"
 
 # Short fuzz pass over the binary decoders.
 fuzz:

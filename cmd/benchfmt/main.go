@@ -1,0 +1,146 @@
+// Command benchfmt converts `go test -bench` output into a small JSON
+// document, so benchmark runs can be committed (BENCH_PR2.json and friends)
+// and diffed across PRs to track the performance trajectory.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | go run ./cmd/benchfmt -out BENCH.json
+//	go run ./cmd/benchfmt -out BENCH.json bench1.txt bench2.txt
+//
+// Non-benchmark lines are ignored, so raw `go test` output can be piped in
+// unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the committed JSON document.
+type Report struct {
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	var results []Result
+	if flag.NArg() == 0 {
+		rs, err := parse(os.Stdin)
+		if err != nil {
+			return err
+		}
+		results = rs
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rs, err := parse(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		results = append(results, rs...)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	report := Report{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Note:       *note,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse extracts benchmark result lines:
+//
+//	BenchmarkName-8   1234   987 ns/op   12 B/op   3 allocs/op   456 ops/s
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with Benchmark
+		}
+		res := Result{
+			Name:       trimGOMAXPROCS(fields[0]),
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		// The rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if len(res.Metrics) == 0 {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// trimGOMAXPROCS drops the trailing -N procs suffix go test appends, keeping
+// names stable across machines.
+func trimGOMAXPROCS(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

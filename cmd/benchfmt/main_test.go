@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: camp/internal/kvserver
+BenchmarkServerOps/shards=1-8         	   26577	     44203 ns/op	    452501 ops/s	    9058 B/op	     161 allocs/op
+BenchmarkGetHit/camp-8   	12345678	        95.2 ns/op
+--- BENCH: BenchmarkFig4
+    bench_test.go:42: table...
+PASS
+`
+	rs, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(rs), rs)
+	}
+	r := rs[0]
+	if r.Name != "BenchmarkServerOps/shards=1" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Iterations != 26577 {
+		t.Fatalf("iterations = %d", r.Iterations)
+	}
+	if r.Metrics["ns/op"] != 44203 || r.Metrics["ops/s"] != 452501 || r.Metrics["allocs/op"] != 161 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if rs[1].Metrics["ns/op"] != 95.2 {
+		t.Fatalf("float metric = %v", rs[1].Metrics)
+	}
+}
+
+func TestTrimGOMAXPROCS(t *testing.T) {
+	for give, want := range map[string]string{
+		"BenchmarkX-8":            "BenchmarkX",
+		"BenchmarkX/shards=1-16":  "BenchmarkX/shards=1",
+		"BenchmarkX/shards=1":     "BenchmarkX/shards=1",
+		"BenchmarkAblation/p=inf": "BenchmarkAblation/p=inf",
+	} {
+		if got := trimGOMAXPROCS(give); got != want {
+			t.Errorf("trimGOMAXPROCS(%q) = %q, want %q", give, got, want)
+		}
+	}
+}

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
-//	        [-precision 5] [-no-iq]
+//	        [-shards N] [-precision 5] [-no-iq]
 //	        [-data-dir /var/lib/campsrv [-aof=true] [-fsync everysec]
 //	         [-snapshot-interval 5m] [-aof-limit 64MiB]]
+//
+// -shards (default: one per core, capped so each shard keeps a useful
+// slice of -mem) hash-partitions keys across independent stores, each with
+// its own lock and its own journal under data-dir/shard-NNN/, so writes
+// scale across cores. A data directory written by an older single-store
+// build, or with a different -shards, is migrated in place at startup.
 //
 // In IQ mode (default) the server derives each key's cost from the elapsed
 // time between a get miss and the subsequent set, as in the paper's §4
@@ -25,6 +31,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -45,6 +52,7 @@ func run() error {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
 		mem       = flag.String("mem", "64MiB", "cache memory (e.g. 512KiB, 64MiB, 2GiB)")
+		shards    = flag.Int("shards", 0, "independent stores keys are hashed across, with per-shard locks and journals (0 = auto: GOMAXPROCS, capped so each shard keeps a useful capacity)")
 		policy    = flag.String("policy", "camp", "eviction policy: camp, lru or gds")
 		mode      = flag.String("mode", "byte", "memory management: byte, slab or buddy")
 		precision = flag.Uint("precision", 5, "CAMP rounding precision (0 = infinite)")
@@ -62,9 +70,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *shards == 0 {
+		*shards = defaultShards(bytes)
+	}
 	cfg := kvserver.Config{
 		Addr:        *addr,
 		MemoryBytes: bytes,
+		Shards:      *shards,
 		Policy:      *policy,
 		Mode:        *mode,
 		Precision:   *precision,
@@ -93,8 +105,8 @@ func run() error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("campsrv listening on %s (policy=%s mode=%s mem=%d bytes)\n",
-		srv.Addr(), *policy, *mode, bytes)
+	fmt.Printf("campsrv listening on %s (policy=%s mode=%s mem=%d bytes shards=%d)\n",
+		srv.Addr(), *policy, *mode, bytes, *shards)
 	if *dataDir != "" {
 		fmt.Printf("campsrv: persistence in %s (aof=%v fsync=%s), recovered in %v\n",
 			*dataDir, *aof, *fsync, time.Since(start).Round(time.Millisecond))
@@ -105,6 +117,22 @@ func run() error {
 	<-sig
 	fmt.Println("campsrv: shutting down")
 	return srv.Close()
+}
+
+// defaultShards picks the auto -shards value: one per core, but never so
+// many that a shard's slice of memory drops below the default 8 MiB value
+// limit — capacity splits evenly across shards, so over-sharding a small
+// cache would reject values that fit fine unsharded (and slab mode needs at
+// least one whole slab per shard). An explicit -shards overrides this.
+func defaultShards(memBytes int64) int {
+	n := runtime.GOMAXPROCS(0)
+	if max := int(memBytes / (8 << 20)); n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // parseSize parses sizes like "512KiB", "64MiB", "2GiB" or plain bytes.

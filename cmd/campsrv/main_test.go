@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 func TestParseSize(t *testing.T) {
 	tests := []struct {
@@ -35,6 +38,25 @@ func TestParseSize(t *testing.T) {
 		}
 		if got != tt.want {
 			t.Errorf("parseSize(%q) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestDefaultShards(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if got := defaultShards(1 << 30); got != procs {
+		t.Errorf("defaultShards(1GiB) = %d, want GOMAXPROCS (%d)", got, procs)
+	}
+	// Small caches never over-shard: each shard keeps >= 8MiB.
+	if got := defaultShards(8 << 20); got != 1 {
+		t.Errorf("defaultShards(8MiB) = %d, want 1", got)
+	}
+	if got := defaultShards(1 << 10); got != 1 {
+		t.Errorf("defaultShards(1KiB) = %d, want 1", got)
+	}
+	if procs >= 2 {
+		if got := defaultShards(16 << 20); got != 2 {
+			t.Errorf("defaultShards(16MiB) = %d, want 2", got)
 		}
 	}
 }

@@ -113,6 +113,21 @@ type HeapVisitor interface {
 	ResetHeapVisits()
 }
 
+// EvictionOrdered is implemented by policies that can enumerate resident
+// entries in the order the policy would evict them — the next victim first —
+// without mutating any state. Snapshots written in this order rebuild the
+// policy's internal queues in their original order on a warm start, where a
+// map-order snapshot scrambled them. For the priority policies (CAMP, GDS)
+// the restored schedule is exact when the live offsets are uniform (no
+// evictions had raised L); after churn, within-queue recency is still exact
+// but cross-queue offsets collapse to the re-derived priorities — a far
+// smaller error than random order, not zero. Journal replay remains exact.
+type EvictionOrdered interface {
+	// VisitEvictionOrder calls visit for each resident entry in eviction
+	// order, stopping early if visit returns false.
+	VisitEvictionOrder(visit func(Entry) bool)
+}
+
 // QueueCounter is implemented by policies organized as multiple queues
 // (CAMP); it powers Figures 5b and 8c.
 type QueueCounter interface {

@@ -137,6 +137,17 @@ func (c *LRU) EvictOne() (Entry, bool) {
 	return e, true
 }
 
+// VisitEvictionOrder implements EvictionOrdered: the recency queue is the
+// eviction order, least recently used first.
+func (c *LRU) VisitEvictionOrder(visit func(Entry) bool) {
+	for n := c.queue.Front(); n != nil; n = n.Next() {
+		e := n.Value
+		if !visit(Entry{Key: e.key, Size: e.size, Cost: e.cost}) {
+			return
+		}
+	}
+}
+
 // Victim returns the key next in line for eviction, for tests.
 func (c *LRU) Victim() (string, bool) {
 	if n := c.queue.Front(); n != nil {

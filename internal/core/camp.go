@@ -420,6 +420,35 @@ func (c *Camp) addQueue(bucket uint64) *campQueue {
 	return q
 }
 
+// VisitEvictionOrder implements cache.EvictionOrdered with a k-way merge
+// over the per-ratio queues. Each queue is already in ascending (H, seq)
+// order, and evicting an item never changes another item's priority (only L
+// moves), so repeatedly taking the smallest (H, seq) among the queue fronts —
+// the same comparison the queue-head heap uses — reproduces the exact
+// sequence EvictOne would emit, without mutating anything.
+func (c *Camp) VisitEvictionOrder(visit func(cache.Entry) bool) {
+	less := func(a, b *ilist.Node[*campEntry]) bool {
+		if a.Value.h != b.Value.h {
+			return a.Value.h < b.Value.h
+		}
+		return a.Value.seq < b.Value.seq
+	}
+	cursors := nheap.New(less)
+	for _, q := range c.queues {
+		cursors.Push(q.list.Front())
+	}
+	for cursors.Len() > 0 {
+		n := cursors.Pop()
+		e := n.Value
+		if !visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}) {
+			return
+		}
+		if next := n.Next(); next != nil {
+			cursors.Push(next)
+		}
+	}
+}
+
 // CheckInvariants validates the §2 data-structure invariants; tests call it
 // after every operation. It returns nil when all hold:
 //

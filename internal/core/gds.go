@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"camp/internal/cache"
 	"camp/internal/nheap"
@@ -260,6 +261,27 @@ func (g *GDS) ResetHeapVisits() { g.heap.ResetVisits() }
 
 // HeapUpdates returns the number of structural heap operations performed.
 func (g *GDS) HeapUpdates() uint64 { return g.heapUpdates }
+
+// VisitEvictionOrder implements cache.EvictionOrdered. Evictions never
+// change a surviving item's H (only L moves), so sorting all residents by
+// the heap's (H, seq) comparison yields the exact EvictOne sequence.
+func (g *GDS) VisitEvictionOrder(visit func(cache.Entry) bool) {
+	entries := make([]*gdsEntry, 0, len(g.items))
+	for _, e := range g.items {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].h != entries[j].h {
+			return entries[i].h < entries[j].h
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	for _, e := range entries {
+		if !visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}) {
+			return
+		}
+	}
+}
 
 // CheckInvariants validates internal consistency, for tests.
 func (g *GDS) CheckInvariants() error {

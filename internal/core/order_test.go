@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"camp/internal/cache"
+)
+
+// evictionOrdered pairs the visitor with the mutating drain for the test.
+type evictionOrdered interface {
+	cache.Policy
+	cache.Evicter
+	cache.EvictionOrdered
+}
+
+// TestVisitEvictionOrderMatchesDrain drives each policy through a random
+// mixed workload (with evictions, so L moves), then checks that
+// VisitEvictionOrder predicts exactly the sequence EvictOne produces — and
+// that visiting mutated nothing.
+func TestVisitEvictionOrderMatchesDrain(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() evictionOrdered
+	}{
+		{name: "camp", mk: func() evictionOrdered { return NewCamp(4096) }},
+		{name: "camp-inf", mk: func() evictionOrdered { return NewCamp(4096, WithPrecision(PrecisionInf)) }},
+		{name: "gds", mk: func() evictionOrdered { return NewGDS(4096) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.mk()
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("k%03d", rng.Intn(300))
+				if rng.Intn(3) == 0 {
+					p.Get(key)
+				} else {
+					p.Set(key, int64(20+rng.Intn(60)), int64(1+rng.Intn(1000)))
+				}
+			}
+			if p.Len() == 0 {
+				t.Fatal("degenerate workload: nothing resident")
+			}
+			var predicted []string
+			p.VisitEvictionOrder(func(e cache.Entry) bool {
+				predicted = append(predicted, e.Key)
+				return true
+			})
+			if len(predicted) != p.Len() {
+				t.Fatalf("visited %d entries, %d resident", len(predicted), p.Len())
+			}
+			for i := 0; ; i++ {
+				victim, ok := p.EvictOne()
+				if !ok {
+					if i != len(predicted) {
+						t.Fatalf("drained %d entries, predicted %d", i, len(predicted))
+					}
+					break
+				}
+				if victim.Key != predicted[i] {
+					t.Fatalf("eviction %d: drained %q, predicted %q", i, victim.Key, predicted[i])
+				}
+			}
+		})
+	}
+}
+
+// TestVisitEvictionOrderEarlyStop checks the visitor honors a false return.
+func TestVisitEvictionOrderEarlyStop(t *testing.T) {
+	p := NewCamp(4096)
+	for i := 0; i < 20; i++ {
+		p.Set(fmt.Sprintf("k%d", i), 10, int64(i+1))
+	}
+	n := 0
+	p.VisitEvictionOrder(func(cache.Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d entries after early stop, want 5", n)
+	}
+}

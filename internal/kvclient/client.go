@@ -126,6 +126,24 @@ func (c *Client) Set(key string, value []byte, flags uint32, ttl int64, cost int
 	}
 }
 
+// SetNoreply stores a value with the noreply flag: the server sends no
+// response, so many sets can be pipelined into one buffered write. The
+// command sits in the client buffer until Flush (or a synchronous call's
+// flush) pushes it out; write errors surface here or there.
+func (c *Client) SetNoreply(key string, value []byte, flags uint32, ttl int64, cost int64) error {
+	if cost > 0 {
+		fmt.Fprintf(c.w, "set %s %d %d %d %d noreply\r\n", key, flags, ttl, len(value), cost)
+	} else {
+		fmt.Fprintf(c.w, "set %s %d %d %d noreply\r\n", key, flags, ttl, len(value))
+	}
+	c.w.Write(value)
+	_, err := c.w.WriteString("\r\n")
+	return err
+}
+
+// Flush pushes buffered noreply commands to the server.
+func (c *Client) Flush() error { return c.w.Flush() }
+
 // Add stores a value only if the key is absent; ok reports whether it was
 // stored.
 func (c *Client) Add(key string, value []byte, flags uint32, ttl, cost int64) (bool, error) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -146,5 +147,50 @@ func TestMissingCRLFAfterValue(t *testing.T) {
 	defer c.Close()
 	if _, _, err := c.Get("k"); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestSetNoreplyPipelines(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	addr := fakeServer(t, func(line string, w *bufio.Writer) {
+		mu.Lock()
+		lines = append(lines, line)
+		mu.Unlock()
+		// noreply sets get no response; only version answers.
+		if line == "version" {
+			w.WriteString("VERSION fake\r\n")
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetNoreply("a", []byte("v1"), 7, 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNoreply("b", []byte("v2"), 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A synchronous command after pipelined noreply sets proves the stream
+	// stayed in sync: the next reply read belongs to version, not a set.
+	v, err := c.Version()
+	if err != nil || v != "fake" {
+		t.Fatalf("Version after noreply pipeline = %q, %v", v, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"set a 7 0 2 42 noreply", "v1", "set b 0 0 2 noreply", "v2", "version"}
+	if len(lines) != len(want) {
+		t.Fatalf("server saw %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
 	}
 }

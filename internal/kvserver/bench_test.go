@@ -1,0 +1,106 @@
+package kvserver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"camp/internal/kvclient"
+)
+
+// BenchmarkServerOps measures end-to-end server throughput under parallel
+// client load at different shard counts — the tentpole number for the
+// sharded kvserver. Each iteration is one pipelined batch per client: a
+// 16-key multiget plus 4 noreply sets (20 ops), so the store, not the
+// per-op network round trip, is the bottleneck. The ops/s metric counts
+// individual operations. On a multi-core machine the 8-shard run should
+// beat 1 shard by well over 2x; on a single core the spread collapses to
+// lock-contention effects only.
+func BenchmarkServerOps(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchServerOps(b, shards)
+		})
+	}
+}
+
+const (
+	benchKeys      = 8192
+	benchValueLen  = 100
+	benchBatchGets = 16
+	benchBatchSets = 4
+)
+
+func benchKey(i int) string { return fmt.Sprintf("key-%05d", i) }
+
+func benchServerOps(b *testing.B, shards int) {
+	s, err := New(Config{
+		MemoryBytes: 256 << 20,
+		Shards:      shards,
+		Policy:      "camp",
+		DisableIQ:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	value := make([]byte, benchValueLen)
+	warm, err := kvclient.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchKeys; i++ {
+		if err := warm.SetNoreply(benchKey(i), value, 0, 0, int64(1+i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := warm.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	// A synchronous command drains the pipeline before timing starts.
+	if _, err := warm.Version(); err != nil {
+		b.Fatal(err)
+	}
+	warm.Close()
+
+	b.SetParallelism(8) // 8 concurrent clients per GOMAXPROCS
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := kvclient.Dial(s.Addr())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		batch := make([]string, benchBatchGets)
+		for pb.Next() {
+			for i := range batch {
+				batch[i] = benchKey(rng.Intn(benchKeys))
+			}
+			if _, err := c.MultiGet(batch...); err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < benchBatchSets; i++ {
+				if err := c.SetNoreply(benchKey(rng.Intn(benchKeys)), value, 0, 0, int64(1+rng.Intn(100))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	opsPerIter := float64(benchBatchGets + benchBatchSets)
+	b.ReportMetric(opsPerIter*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}

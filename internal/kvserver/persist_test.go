@@ -20,24 +20,37 @@ type expectedItem struct {
 	cost    int64
 }
 
-// captureState snapshots a server's live items under its lock.
+// captureState snapshots a server's live items, shard by shard.
 func captureState(s *Server) map[string]expectedItem {
 	out := make(map[string]expectedItem)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key, it := range s.store.items {
-		_, meta, ok := s.store.peek(key)
-		if !ok {
-			continue
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for key, it := range sh.store.items {
+			_, meta, ok := sh.store.peek(key)
+			if !ok {
+				continue
+			}
+			out[key] = expectedItem{
+				value:   string(it.value),
+				flags:   it.flags,
+				expires: persist.ExpiresFrom(it.expiresAt),
+				cost:    meta.Cost,
+			}
 		}
-		out[key] = expectedItem{
-			value:   string(it.value),
-			flags:   it.flags,
-			expires: persist.ExpiresFrom(it.expiresAt),
-			cost:    meta.Cost,
-		}
+		sh.mu.Unlock()
 	}
 	return out
+}
+
+// totalCompactions sums completed compactions across shards.
+func totalCompactions(s *Server) uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		if sh.mgr != nil {
+			n += sh.mgr.Info().Compactions
+		}
+	}
+	return n
 }
 
 // TestCrashRecoveryRandomizedMix is the acceptance test: a randomized mix of
@@ -240,9 +253,10 @@ func TestSnapshotOnlyGracefulRestart(t *testing.T) {
 	if s2.recovered.SnapshotOps != 50 {
 		t.Fatalf("recovered %d snapshot ops, want 50", s2.recovered.SnapshotOps)
 	}
-	s2.mu.Lock()
-	_, meta, ok := s2.store.peek("k07")
-	s2.mu.Unlock()
+	sh := s2.shardFor("k07")
+	sh.mu.Lock()
+	_, meta, ok := sh.store.peek("k07")
+	sh.mu.Unlock()
 	if !ok || meta.Cost != 8 {
 		t.Fatalf("k07 after snapshot restart: ok=%v cost=%d, want cost 8", ok, meta.Cost)
 	}
@@ -270,7 +284,7 @@ func TestSnapshotIntervalAndStats(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if s.mgr.Info().Compactions > 0 {
+		if totalCompactions(s) > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -337,9 +351,10 @@ func TestArithPreservesExpiry(t *testing.T) {
 	}
 	wantExpiry := func(s *Server, when string) {
 		t.Helper()
-		s.mu.Lock()
-		it, ok := s.store.items["counter"]
-		s.mu.Unlock()
+		sh := s.shardFor("counter")
+		sh.mu.Lock()
+		it, ok := sh.store.items["counter"]
+		sh.mu.Unlock()
 		if !ok {
 			t.Fatalf("%s: counter missing", when)
 		}

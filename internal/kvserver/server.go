@@ -19,9 +19,16 @@
 // LRU and random slab eviction; "buddy" rounds sizes to power-of-two blocks
 // in a buddy arena with the configured policy choosing victims.
 //
-// With Config.Persist set, mutations are journaled through internal/persist
-// and a restart warm-loads the newest snapshot plus the journal tail, so the
-// working set and the IQ-learned costs survive crashes and deploys.
+// The server is sharded for vertical scaling, the §4.1 recipe: keys hash
+// across Config.Shards independent shards, each owning its own store,
+// mutex, IQ miss table and — with Config.Persist set — its own journal and
+// snapshot generations under data-dir/shard-NNN/. Mutations are journaled
+// through internal/persist and a restart warm-loads each shard's newest
+// snapshot plus journal tail (in parallel), so the working set and the
+// IQ-learned costs survive crashes and deploys. Snapshots run off the
+// request path: the journal switches segments under the shard lock, but the
+// snapshot itself is serialized and written unlocked, so compaction never
+// stalls more than the one shard, and only for the in-memory copy-out.
 package kvserver
 
 import (
@@ -46,12 +53,24 @@ const (
 	ModeBuddy = "buddy"
 )
 
+// MaxShards bounds Config.Shards.
+const MaxShards = 1024
+
 // Config parameterizes a Server.
 type Config struct {
 	// Addr is the TCP listen address; empty means 127.0.0.1:0.
 	Addr string
-	// MemoryBytes is the cache capacity.
+	// MemoryBytes is the cache capacity, split evenly across shards.
 	MemoryBytes int64
+	// Shards is the number of independent stores keys are hashed across
+	// (default 1). Each shard has its own lock, eviction state and — with
+	// persistence — its own journal, so writes scale across cores. Capacity
+	// splits evenly, so each shard holds MemoryBytes/Shards: a single value
+	// larger than that slice is rejected even if it fits MaxValueBytes, and
+	// slab mode needs at least one whole slab per shard. Size Shards so the
+	// per-shard slice stays comfortably above the largest expected value
+	// (cmd/campsrv's auto default does this).
+	Shards int
 	// Policy selects the eviction algorithm: "camp" (default), "lru" or
 	// "gds". Ignored in slab mode, which always uses per-class LRU as
 	// Twemcache does.
@@ -73,14 +92,16 @@ type Config struct {
 	// MaxValueBytes rejects larger values (default 8 MiB).
 	MaxValueBytes int64
 	// Persist enables the durability subsystem when non-nil: mutations are
-	// journaled to an append-only log and the store warm-restarts from the
-	// newest snapshot plus the journal tail, costs included.
+	// journaled per shard to an append-only log and the store warm-restarts
+	// from each shard's newest snapshot plus journal tail, costs included.
 	Persist *PersistConfig
 }
 
 // PersistConfig configures the internal/persist subsystem for a Server.
 type PersistConfig struct {
-	// Dir is the data directory (required).
+	// Dir is the data directory (required). The server locks it (flock on
+	// unix; platforms without flock get no mutual exclusion), so a second
+	// server pointed at the same directory refuses to start.
 	Dir string
 	// DisableAOF turns off per-mutation journaling; durability then comes
 	// only from interval and shutdown snapshots.
@@ -88,10 +109,12 @@ type PersistConfig struct {
 	// Fsync is the AOF sync policy: persist.FsyncAlways, FsyncEverySec
 	// (default) or FsyncNo.
 	Fsync string
-	// SnapshotInterval, when positive, snapshots the store periodically in
-	// the background (each snapshot also truncates the journal).
+	// SnapshotInterval, when positive, snapshots the shards periodically in
+	// the background, one shard at a time (each snapshot also truncates
+	// that shard's journal).
 	SnapshotInterval time.Duration
-	// AOFLimit overrides the journal size that triggers compaction.
+	// AOFLimit overrides the per-shard journal size that triggers
+	// compaction.
 	AOFLimit int64
 	// Logf receives recovery and background-sync warnings (default: none).
 	Logf func(format string, args ...any)
@@ -100,19 +123,19 @@ type PersistConfig struct {
 // DefaultItemOverhead approximates the per-item header of Twemcache.
 const DefaultItemOverhead = 56
 
-// Server is a single-node cost-aware KVS.
+// Server is a cost-aware KVS sharded across independent stores.
 type Server struct {
 	cfg Config
 	ln  net.Listener
 
-	mu       sync.Mutex
-	store    *store
-	missedAt map[string]time.Time
-	stats    map[string]uint64
+	shards   []*shard
+	counters counters
 
-	mgr       *persist.Manager
 	recovered persist.RecoverStats
-	stopSnap  chan struct{}
+	rootLock  *persist.DirLock
+
+	compactC chan *shard
+	stopBg   chan struct{}
 
 	wg     sync.WaitGroup
 	connMu sync.Mutex
@@ -120,10 +143,18 @@ type Server struct {
 	closed bool
 }
 
-// New validates cfg and creates a Server (not yet listening).
+// New validates cfg and creates a Server (not yet listening). With
+// persistence configured, New locks the data directory, migrates old
+// layouts, and warm-restarts every shard before returning.
 func New(cfg Config) (*Server, error) {
 	if cfg.MemoryBytes <= 0 {
 		return nil, fmt.Errorf("kvserver: MemoryBytes must be positive")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("kvserver: Shards must be in [1, %d], got %d", MaxShards, cfg.Shards)
 	}
 	if cfg.Policy == "" {
 		cfg.Policy = "camp"
@@ -140,35 +171,52 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxValueBytes == 0 {
 		cfg.MaxValueBytes = 8 << 20
 	}
-	st, err := newStore(cfg)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		cfg:      cfg,
-		store:    st,
-		missedAt: make(map[string]time.Time),
-		stats:    make(map[string]uint64),
-		conns:    make(map[net.Conn]struct{}),
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+	}
+	// Capacity splits evenly; shard 0 absorbs the remainder, as the root
+	// camp.Cache's sharding does.
+	per := cfg.MemoryBytes / int64(cfg.Shards)
+	rem := cfg.MemoryBytes % int64(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		shardCfg := cfg
+		shardCfg.MemoryBytes = per
+		if i == 0 {
+			shardCfg.MemoryBytes += rem
+		}
+		st, err := newStore(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &shard{
+			srv:      s,
+			store:    st,
+			missedAt: make(map[string]time.Time),
+		})
 	}
 	if p := cfg.Persist; p != nil {
 		if p.Dir == "" {
 			return nil, fmt.Errorf("kvserver: Persist.Dir is required")
 		}
-		mgr, rec, err := persist.Open(persist.Options{
-			Dir:        p.Dir,
-			Fsync:      p.Fsync,
-			DisableAOF: p.DisableAOF,
-			AOFLimit:   p.AOFLimit,
-			Logf:       p.Logf,
-		}, st.restore)
-		if err != nil {
+		if err := s.openPersistence(); err != nil {
 			return nil, fmt.Errorf("kvserver: recover: %w", err)
 		}
-		s.mgr = mgr
-		s.recovered = rec
+		// The compactor runs for the server's whole life (not just while
+		// listening): size-triggered and interval snapshots both happen off
+		// the request path here.
+		s.compactC = make(chan *shard, len(s.shards))
+		s.stopBg = make(chan struct{})
+		s.wg.Add(1)
+		go s.compactorLoop(p.SnapshotInterval)
 	}
 	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Persist != nil && s.cfg.Persist.Logf != nil {
+		s.cfg.Persist.Logf(format, args...)
+	}
 }
 
 // Start begins listening and serving connections.
@@ -184,73 +232,55 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	if s.mgr != nil && s.cfg.Persist.SnapshotInterval > 0 {
-		s.stopSnap = make(chan struct{})
-		s.wg.Add(1)
-		go s.snapshotLoop(s.cfg.Persist.SnapshotInterval)
-	}
 	return nil
 }
 
-func (s *Server) snapshotLoop(every time.Duration) {
+// requestCompact schedules an off-lock compaction of sh. Dropping the
+// request when the queue is full is fine: the journal keeps growing and the
+// next append re-triggers it.
+func (s *Server) requestCompact(sh *shard) {
+	select {
+	case s.compactC <- sh:
+	default:
+	}
+}
+
+// compactorLoop owns every snapshot cycle: size-triggered requests from the
+// journal path and the optional interval ticker. Walking the shards one at a
+// time bounds any stall to a single shard's copy-out — the disk write
+// happens with no lock held at all.
+func (s *Server) compactorLoop(interval time.Duration) {
 	defer s.wg.Done()
-	t := time.NewTicker(every)
-	defer t.Stop()
+	var tick <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
-		case <-s.stopSnap:
+		case <-s.stopBg:
 			return
-		case <-t.C:
-			s.mu.Lock()
-			s.compactLocked()
-			s.mu.Unlock()
+		case sh := <-s.compactC:
+			sh.compact()
+		case <-tick:
+			for _, sh := range s.shards {
+				select {
+				case <-s.stopBg:
+					return
+				default:
+				}
+				sh.compact()
+			}
 		}
 	}
 }
 
-// Snapshot forces a snapshot-then-truncate compaction now. It is a no-op
-// without persistence.
+// Snapshot forces a snapshot-then-truncate compaction of every shard now.
+// It is a no-op without persistence.
 func (s *Server) Snapshot() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.compactLocked()
-}
-
-// compactLocked snapshots the live store into the next generation and
-// truncates the journal. The caller holds s.mu, which keeps the snapshot
-// consistent with the journal order; moving this off the hot path is a
-// ROADMAP item.
-func (s *Server) compactLocked() {
-	if s.mgr == nil {
-		return
-	}
-	if err := s.mgr.Compact(s.store.emitOps); err != nil {
-		s.stats["persist_errors"]++
-		if s.cfg.Persist.Logf != nil {
-			s.cfg.Persist.Logf("kvserver: snapshot: %v", err)
-		}
-		return
-	}
-	s.stats["persist_snapshots"]++
-}
-
-// journalLocked appends one mutation to the AOF and compacts when the
-// journal outgrows its limit. The caller holds s.mu. Journal failures are
-// surfaced through the persist_errors stat rather than failing the client
-// op; with a healthy disk they do not happen.
-func (s *Server) journalLocked(op persist.Op) {
-	if s.mgr == nil {
-		return
-	}
-	if err := s.mgr.Append(op); err != nil {
-		s.stats["persist_errors"]++
-		if s.cfg.Persist.Logf != nil {
-			s.cfg.Persist.Logf("kvserver: journal: %v", err)
-		}
-		return
-	}
-	if s.mgr.NeedsCompaction() {
-		s.compactLocked()
+	for _, sh := range s.shards {
+		sh.compact()
 	}
 }
 
@@ -263,21 +293,27 @@ func (s *Server) Addr() string {
 }
 
 // Close stops the listener, closes live connections, waits for handlers and
-// flushes the persistence subsystem: the journal is synced, and when the AOF
-// is disabled a final snapshot captures the store.
+// flushes the persistence subsystem: every shard's journal is synced, and
+// when the AOF is disabled a final snapshot captures each shard.
 func (s *Server) Close() error {
 	err, wasOpen := s.stopNetwork()
 	if !wasOpen {
 		return nil
 	}
-	if s.mgr != nil {
+	if s.cfg.Persist != nil {
 		if s.cfg.Persist.DisableAOF {
-			s.mu.Lock()
-			s.compactLocked()
-			s.mu.Unlock()
+			s.Snapshot()
 		}
-		if cerr := s.mgr.Close(); cerr != nil && err == nil {
-			err = cerr
+		for _, sh := range s.shards {
+			if sh.mgr == nil {
+				continue
+			}
+			if cerr := sh.mgr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if rerr := s.rootLock.Release(); rerr != nil && err == nil {
+			err = rerr
 		}
 	}
 	return err
@@ -288,13 +324,22 @@ func (s *Server) Close() error {
 // tests and demos. Orderly shutdown is Close.
 func (s *Server) Kill() {
 	_, wasOpen := s.stopNetwork()
-	if wasOpen && s.mgr != nil {
-		s.mgr.Kill()
+	if !wasOpen {
+		return
 	}
+	for _, sh := range s.shards {
+		if sh.mgr != nil {
+			sh.mgr.Kill()
+		}
+	}
+	// A real crash drops the flock with the process; release it so a
+	// recovering server in the same process can take the directory over.
+	s.rootLock.Release()
 }
 
-// stopNetwork closes the listener and live connections and waits for all
-// handler goroutines. wasOpen is false if the server was already stopped.
+// stopNetwork closes the listener and live connections, stops the
+// background compactor, and waits for all goroutines. wasOpen is false if
+// the server was already stopped.
 func (s *Server) stopNetwork() (err error, wasOpen bool) {
 	s.connMu.Lock()
 	if s.closed {
@@ -306,8 +351,8 @@ func (s *Server) stopNetwork() (err error, wasOpen bool) {
 		c.Close()
 	}
 	s.connMu.Unlock()
-	if s.stopSnap != nil {
-		close(s.stopSnap)
+	if s.stopBg != nil {
+		close(s.stopBg)
 	}
 	if s.ln != nil {
 		err = s.ln.Close()
@@ -385,15 +430,7 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 	case "stats":
 		return false, s.handleStats(w)
 	case "flush_all":
-		s.mu.Lock()
-		s.store.flush()
-		s.missedAt = make(map[string]time.Time)
-		// The journaled flush record makes the emptiness durable even if
-		// the compaction below fails; the compaction then truncates the
-		// now-superseded journal.
-		s.journalLocked(persist.Op{Kind: persist.KindFlush})
-		s.compactLocked()
-		s.mu.Unlock()
+		s.handleFlushAll()
 		_, err := w.WriteString("OK\r\n")
 		return false, err
 	case "version":
@@ -409,12 +446,29 @@ func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit b
 	}
 }
 
+// handleFlushAll empties every shard. Each shard flushes atomically under
+// its own lock and journals a flush record (making the emptiness durable
+// even if the compaction below fails); across shards the flush is not a
+// single atomic point — a concurrent writer may land a set on an
+// already-flushed shard — matching multi-node memcached semantics.
+func (s *Server) handleFlushAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.store.flush()
+		sh.missedAt = make(map[string]time.Time)
+		sh.journalLocked(persist.Op{Kind: persist.KindFlush})
+		sh.mu.Unlock()
+		// Compact synchronously (off-lock) so the truncated journal is on
+		// disk by the time the client sees OK, as before sharding.
+		sh.compact()
+	}
+}
+
 func (s *Server) handleGet(keys []string, w *bufio.Writer) error {
 	if len(keys) == 0 {
 		_, err := w.WriteString("CLIENT_ERROR get requires a key\r\n")
 		return err
 	}
-	s.mu.Lock()
 	type hit struct {
 		key   string
 		flags uint32
@@ -423,19 +477,25 @@ func (s *Server) handleGet(keys []string, w *bufio.Writer) error {
 	hits := make([]hit, 0, len(keys))
 	now := time.Now()
 	for _, k := range keys {
-		s.stats["cmd_get"]++
-		it, ok := s.store.get(k, now)
+		s.counters.cmdGet.Add(1)
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		it, ok := sh.store.get(k, now)
 		if !ok {
-			s.stats["get_misses"]++
 			if !s.cfg.DisableIQ {
-				s.recordMissLocked(k, now)
+				sh.recordMissLocked(k, now)
 			}
+			sh.mu.Unlock()
+			s.counters.getMisses.Add(1)
 			continue
 		}
-		s.stats["get_hits"]++
-		hits = append(hits, hit{key: k, flags: it.flags, value: it.value})
+		// Stored values are never mutated in place, so the reference can
+		// be written out after the lock drops.
+		h := hit{key: k, flags: it.flags, value: it.value}
+		sh.mu.Unlock()
+		s.counters.getHits.Add(1)
+		hits = append(hits, h)
 	}
-	s.mu.Unlock()
 	for _, h := range hits {
 		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", h.key, h.flags, len(h.value)); err != nil {
 			return err
@@ -449,23 +509,6 @@ func (s *Server) handleGet(keys []string, w *bufio.Writer) error {
 	}
 	_, err := w.WriteString("END\r\n")
 	return err
-}
-
-// recordMissLocked notes a get miss for IQ cost derivation, bounding the
-// table so an attacker cannot balloon it with unique keys.
-func (s *Server) recordMissLocked(key string, now time.Time) {
-	const maxPending = 1 << 16
-	if len(s.missedAt) >= maxPending {
-		for k, at := range s.missedAt {
-			if now.Sub(at) > time.Minute {
-				delete(s.missedAt, k)
-			}
-		}
-		if len(s.missedAt) >= maxPending {
-			return // still full of recent misses; drop this one
-		}
-	}
-	s.missedAt[key] = now
 }
 
 // handleStore covers set, add, replace, append and prepend:
@@ -518,86 +561,17 @@ func (s *Server) handleStore(cmd string, args []string, r *bufio.Reader, w *bufi
 	}
 
 	now := time.Now()
-	s.mu.Lock()
-	s.stats["cmd_"+cmd]++
-	reply := s.storeLocked(cmd, key, value, uint32(flags), ttl, cost, now)
-	s.mu.Unlock()
+	s.counters.cmdCounter(cmd).Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	reply := sh.storeLocked(cmd, key, value, uint32(flags), ttl, cost, now)
+	sh.mu.Unlock()
 
 	if noreply {
 		return nil
 	}
 	_, err := w.WriteString(reply)
 	return err
-}
-
-// storeLocked applies one storage command and returns the protocol reply.
-// The caller holds s.mu.
-func (s *Server) storeLocked(cmd, key string, value []byte, flags uint32, ttl, cost int64, now time.Time) string {
-	existing, exists := s.store.items[key]
-	if exists && !existing.expiresAt.IsZero() && now.After(existing.expiresAt) {
-		s.store.delete(key)
-		existing, exists = nil, false
-	}
-	switch cmd {
-	case "add":
-		if exists {
-			return "NOT_STORED\r\n"
-		}
-	case "replace":
-		if !exists {
-			return "NOT_STORED\r\n"
-		}
-	case "append", "prepend":
-		if !exists {
-			return "NOT_STORED\r\n"
-		}
-		// Concatenation keeps the existing flags and cost; the payload
-		// just grows.
-		if cmd == "append" {
-			value = append(append(make([]byte, 0, len(existing.value)+len(value)), existing.value...), value...)
-		} else {
-			value = append(append(make([]byte, 0, len(existing.value)+len(value)), value...), existing.value...)
-		}
-		flags = existing.flags
-		if cost == 0 {
-			cost = s.costOf(key)
-		}
-	}
-	if cost == 0 && !s.cfg.DisableIQ {
-		if at, ok := s.missedAt[key]; ok {
-			cost = now.Sub(at).Microseconds()
-			if cost < 1 {
-				cost = 1
-			}
-			delete(s.missedAt, key)
-		}
-	}
-	if cost == 0 {
-		cost = 1
-	}
-	expires := expiryFrom(ttl, now)
-	if !s.store.setAbs(key, value, flags, expires, cost) {
-		s.stats["set_rejected"]++
-		return "SERVER_ERROR out of memory storing object\r\n"
-	}
-	s.journalLocked(persist.Op{
-		Kind:    persist.KindSet,
-		Key:     key,
-		Value:   value,
-		Flags:   flags,
-		Expires: persist.ExpiresFrom(expires),
-		Size:    s.store.itemSize(key, value),
-		Cost:    cost,
-	})
-	return "STORED\r\n"
-}
-
-// costOf returns the stored cost of a resident key, or 0.
-func (s *Server) costOf(key string) int64 {
-	if _, meta, ok := s.store.peek(key); ok {
-		return meta.Cost
-	}
-	return 0
 }
 
 // handleArith covers incr/decr: <cmd> <key> <delta> [noreply].
@@ -618,44 +592,11 @@ func (s *Server) handleArith(cmd string, args []string, w *bufio.Writer) error {
 	}
 	key := args[0]
 	now := time.Now()
-	s.mu.Lock()
-	s.stats["cmd_"+cmd]++
-	it, ok := s.store.get(key, now)
-	reply := "NOT_FOUND\r\n"
-	if ok {
-		cur, perr := strconv.ParseUint(string(it.value), 10, 64)
-		if perr != nil {
-			reply = "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
-		} else {
-			if cmd == "incr" {
-				cur += delta // wraps at 2^64, as memcached does
-			} else if cur < delta {
-				cur = 0 // decr clamps at zero
-			} else {
-				cur -= delta
-			}
-			newVal := strconv.FormatUint(cur, 10)
-			cost := s.costOf(key)
-			// Arithmetic keeps the item's flags and expiration, as
-			// memcached does; only the payload changes.
-			if s.store.setAbs(key, []byte(newVal), it.flags, it.expiresAt, cost) {
-				reply = newVal + "\r\n"
-				s.journalLocked(persist.Op{
-					Kind:    persist.KindSet,
-					Key:     key,
-					Value:   []byte(newVal),
-					Flags:   it.flags,
-					Expires: persist.ExpiresFrom(it.expiresAt),
-					Size:    s.store.itemSize(key, []byte(newVal)),
-					Cost:    cost,
-				})
-			} else {
-				s.stats["set_rejected"]++
-				reply = "SERVER_ERROR out of memory storing object\r\n"
-			}
-		}
-	}
-	s.mu.Unlock()
+	s.counters.cmdCounter(cmd).Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	reply := sh.arithLocked(cmd, key, delta, now)
+	sh.mu.Unlock()
 	if noreply {
 		return nil
 	}
@@ -679,19 +620,21 @@ func (s *Server) handleTouch(args []string, w *bufio.Writer) error {
 		_, err := w.WriteString("CLIENT_ERROR invalid exptime argument\r\n")
 		return err
 	}
+	key := args[0]
 	now := time.Now()
-	s.mu.Lock()
-	s.stats["cmd_touch"]++
-	it, ok := s.store.get(args[0], now)
+	s.counters.cmdTouch.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	it, ok := sh.store.get(key, now)
 	if ok {
 		it.expiresAt = expiryFrom(ttl, now)
-		s.journalLocked(persist.Op{
+		sh.journalLocked(persist.Op{
 			Kind:    persist.KindTouch,
-			Key:     args[0],
+			Key:     key,
 			Expires: persist.ExpiresFrom(it.expiresAt),
 		})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if noreply {
 		return nil
 	}
@@ -713,13 +656,15 @@ func (s *Server) handleDelete(args []string, w *bufio.Writer) error {
 		_, err := w.WriteString("CLIENT_ERROR bad delete command\r\n")
 		return err
 	}
-	s.mu.Lock()
-	s.stats["cmd_delete"]++
-	ok := s.store.delete(args[0])
+	key := args[0]
+	s.counters.cmdDelete.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ok := sh.store.delete(key)
 	if ok {
-		s.journalLocked(persist.Op{Kind: persist.KindDelete, Key: args[0]})
+		sh.journalLocked(persist.Op{Kind: persist.KindDelete, Key: key})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if noreply {
 		return nil
 	}
@@ -732,40 +677,85 @@ func (s *Server) handleDelete(args []string, w *bufio.Writer) error {
 }
 
 func (s *Server) handleStats(w *bufio.Writer) error {
-	s.mu.Lock()
-	lines := make([]string, 0, 16)
-	for k, v := range s.stats {
-		lines = append(lines, fmt.Sprintf("STAT %s %d\r\n", k, v))
+	lines := make([]string, 0, 32)
+	for _, l := range s.counters.lines() {
+		lines = append(lines, fmt.Sprintf("STAT %s %d\r\n", l.key, l.val))
 	}
-	lines = append(lines, fmt.Sprintf("STAT curr_items %d\r\n", s.store.len()))
-	lines = append(lines, fmt.Sprintf("STAT bytes %d\r\n", s.store.used()))
-	lines = append(lines, fmt.Sprintf("STAT limit_maxbytes %d\r\n", s.cfg.MemoryBytes))
-	lines = append(lines, fmt.Sprintf("STAT evictions %d\r\n", s.store.evictions()))
-	lines = append(lines, fmt.Sprintf("STAT policy %s\r\n", s.store.policyName()))
-	lines = append(lines, fmt.Sprintf("STAT mode %s\r\n", s.cfg.Mode))
-	// Admission pressure: how many stores the eviction policy refused.
-	lines = append(lines, fmt.Sprintf("STAT rejected_sets %d\r\n", s.store.rejected()))
-	if qc := s.store.queueCount(); qc >= 0 {
-		lines = append(lines, fmt.Sprintf("STAT camp_queues %d\r\n", qc))
+	// Aggregate store-level numbers shard by shard, holding one shard lock
+	// at a time: stats never stall the whole keyspace.
+	var (
+		items     int
+		bytes     int64
+		evictions uint64
+		rejected  uint64
+		queues    = -1
+	)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		items += sh.store.len()
+		bytes += sh.store.used()
+		evictions += sh.store.evictions()
+		rejected += sh.store.rejected()
+		if qc := sh.store.queueCount(); qc >= 0 {
+			if queues < 0 {
+				queues = 0
+			}
+			queues += qc
+		}
+		sh.mu.Unlock()
 	}
-	if s.mgr != nil {
-		info := s.mgr.Info()
+	lines = append(lines,
+		fmt.Sprintf("STAT curr_items %d\r\n", items),
+		fmt.Sprintf("STAT bytes %d\r\n", bytes),
+		fmt.Sprintf("STAT limit_maxbytes %d\r\n", s.cfg.MemoryBytes),
+		fmt.Sprintf("STAT evictions %d\r\n", evictions),
+		fmt.Sprintf("STAT policy %s\r\n", s.shards[0].store.policyName()),
+		fmt.Sprintf("STAT mode %s\r\n", s.cfg.Mode),
+		fmt.Sprintf("STAT shards %d\r\n", len(s.shards)),
+		// Admission pressure: how many stores the eviction policy refused.
+		fmt.Sprintf("STAT rejected_sets %d\r\n", rejected),
+	)
+	if queues >= 0 {
+		lines = append(lines, fmt.Sprintf("STAT camp_queues %d\r\n", queues))
+	}
+	if s.cfg.Persist != nil {
+		var (
+			gen         uint64
+			aofBytes    int64
+			compactions uint64
+			fsync       string
+			aofEnabled  bool
+		)
+		for _, sh := range s.shards {
+			if sh.mgr == nil {
+				continue
+			}
+			info := sh.mgr.Info()
+			if info.Generation > gen {
+				gen = info.Generation
+			}
+			aofBytes += info.AOFSize
+			compactions += info.Compactions
+			fsync = info.Fsync
+			aofEnabled = info.AOFEnabled
+		}
 		aof := 0
-		if info.AOFEnabled {
+		if aofEnabled {
 			aof = 1
 		}
 		lines = append(lines,
-			fmt.Sprintf("STAT persist_gen %d\r\n", info.Generation),
+			fmt.Sprintf("STAT persist_gen %d\r\n", gen),
 			fmt.Sprintf("STAT aof_enabled %d\r\n", aof),
-			fmt.Sprintf("STAT aof_bytes %d\r\n", info.AOFSize),
-			fmt.Sprintf("STAT aof_fsync %s\r\n", info.Fsync),
-			fmt.Sprintf("STAT persist_compactions %d\r\n", info.Compactions),
+			fmt.Sprintf("STAT aof_bytes %d\r\n", aofBytes),
+			fmt.Sprintf("STAT aof_fsync %s\r\n", fsync),
+			fmt.Sprintf("STAT persist_compactions %d\r\n", compactions),
+			fmt.Sprintf("STAT persist_errors %d\r\n", s.counters.persistErrors.Load()),
+			fmt.Sprintf("STAT persist_snapshots %d\r\n", s.counters.persistSnapshots.Load()),
 			fmt.Sprintf("STAT restored_snapshot_ops %d\r\n", s.recovered.SnapshotOps),
 			fmt.Sprintf("STAT restored_aof_ops %d\r\n", s.recovered.ReplayedOps),
 			fmt.Sprintf("STAT restored_truncated_bytes %d\r\n", s.recovered.TruncatedBytes),
 		)
 	}
-	s.mu.Unlock()
 	for _, l := range lines {
 		if _, err := w.WriteString(l); err != nil {
 			return err
@@ -780,14 +770,20 @@ func (s *Server) handleDebug(args []string, w *bufio.Writer) error {
 		_, err := w.WriteString("CLIENT_ERROR debug requires a key\r\n")
 		return err
 	}
-	s.mu.Lock()
-	it, meta, ok := s.store.peek(args[0])
-	s.mu.Unlock()
+	key := args[0]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	it, meta, ok := sh.store.peek(key)
+	var flags uint32
+	if ok {
+		flags = it.flags
+	}
+	sh.mu.Unlock()
 	if !ok {
 		_, err := w.WriteString("NOT_FOUND\r\n")
 		return err
 	}
-	_, err := fmt.Fprintf(w, "DEBUG %s size=%d cost=%d flags=%d\r\n", args[0], meta.Size, meta.Cost, it.flags)
+	_, err := fmt.Fprintf(w, "DEBUG %s size=%d cost=%d flags=%d\r\n", key, meta.Size, meta.Cost, flags)
 	return err
 }
 

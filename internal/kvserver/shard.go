@@ -1,0 +1,232 @@
+package kvserver
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"camp/internal/persist"
+)
+
+// shard is one independent slice of the server: its own store (policy,
+// allocator, items map), its own IQ miss table, its own mutex, and — when
+// persistence is on — its own journal and snapshot generations under
+// data-dir/shard-NNN/. Every command touches exactly one shard (flush_all
+// and stats walk all of them), so N shards serve N cores without sharing a
+// lock: the paper's §4.1 vertical-scaling recipe applied to the network
+// server.
+type shard struct {
+	srv *Server
+
+	mu       sync.Mutex
+	store    *store
+	missedAt map[string]time.Time
+
+	mgr *persist.Manager // nil without persistence
+
+	// compactMu serializes snapshot cycles on this shard (the background
+	// compactor vs. forced Snapshot/flush_all). It is never taken on the
+	// request path.
+	compactMu sync.Mutex
+}
+
+// shardIndex routes a key to its shard with FNV-1a. The hash must be stable
+// across restarts — each shard recovers only its own journal, so the routing
+// that wrote a key must find it again after a reboot — which rules out the
+// seeded maphash the in-process camp.Cache shards with.
+func shardIndex(key string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+func (s *Server) shardFor(key string) *shard {
+	return s.shards[shardIndex(key, len(s.shards))]
+}
+
+// recordMissLocked notes a get miss for IQ cost derivation, bounding the
+// table so an attacker cannot balloon it with unique keys. The caller holds
+// sh.mu.
+func (sh *shard) recordMissLocked(key string, now time.Time) {
+	const maxPending = 1 << 16
+	if len(sh.missedAt) >= maxPending {
+		for k, at := range sh.missedAt {
+			if now.Sub(at) > time.Minute {
+				delete(sh.missedAt, k)
+			}
+		}
+		if len(sh.missedAt) >= maxPending {
+			return // still full of recent misses; drop this one
+		}
+	}
+	sh.missedAt[key] = now
+}
+
+// costOfLocked returns the stored cost of a resident key, or 0.
+func (sh *shard) costOfLocked(key string) int64 {
+	if _, meta, ok := sh.store.peek(key); ok {
+		return meta.Cost
+	}
+	return 0
+}
+
+// storeLocked applies one storage command and returns the protocol reply.
+// The caller holds sh.mu.
+func (sh *shard) storeLocked(cmd, key string, value []byte, flags uint32, ttl, cost int64, now time.Time) string {
+	existing, exists := sh.store.items[key]
+	if exists && !existing.expiresAt.IsZero() && now.After(existing.expiresAt) {
+		sh.store.delete(key)
+		existing, exists = nil, false
+	}
+	switch cmd {
+	case "add":
+		if exists {
+			return "NOT_STORED\r\n"
+		}
+	case "replace":
+		if !exists {
+			return "NOT_STORED\r\n"
+		}
+	case "append", "prepend":
+		if !exists {
+			return "NOT_STORED\r\n"
+		}
+		// Concatenation keeps the existing flags and cost; the payload
+		// just grows.
+		if cmd == "append" {
+			value = append(append(make([]byte, 0, len(existing.value)+len(value)), existing.value...), value...)
+		} else {
+			value = append(append(make([]byte, 0, len(existing.value)+len(value)), value...), existing.value...)
+		}
+		flags = existing.flags
+		if cost == 0 {
+			cost = sh.costOfLocked(key)
+		}
+	}
+	if cost == 0 && !sh.srv.cfg.DisableIQ {
+		if at, ok := sh.missedAt[key]; ok {
+			cost = now.Sub(at).Microseconds()
+			if cost < 1 {
+				cost = 1
+			}
+			delete(sh.missedAt, key)
+		}
+	}
+	if cost == 0 {
+		cost = 1
+	}
+	expires := expiryFrom(ttl, now)
+	if !sh.store.setAbs(key, value, flags, expires, cost) {
+		sh.srv.counters.setRejected.Add(1)
+		return "SERVER_ERROR out of memory storing object\r\n"
+	}
+	sh.journalLocked(persist.Op{
+		Kind:    persist.KindSet,
+		Key:     key,
+		Value:   value,
+		Flags:   flags,
+		Expires: persist.ExpiresFrom(expires),
+		Size:    sh.store.itemSize(key, value),
+		Cost:    cost,
+	})
+	return "STORED\r\n"
+}
+
+// arithLocked applies incr/decr and returns the protocol reply. The caller
+// holds sh.mu.
+func (sh *shard) arithLocked(cmd, key string, delta uint64, now time.Time) string {
+	it, ok := sh.store.get(key, now)
+	if !ok {
+		return "NOT_FOUND\r\n"
+	}
+	cur, perr := strconv.ParseUint(string(it.value), 10, 64)
+	if perr != nil {
+		return "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+	}
+	if cmd == "incr" {
+		cur += delta // wraps at 2^64, as memcached does
+	} else if cur < delta {
+		cur = 0 // decr clamps at zero
+	} else {
+		cur -= delta
+	}
+	newVal := strconv.FormatUint(cur, 10)
+	cost := sh.costOfLocked(key)
+	// Arithmetic keeps the item's flags and expiration, as memcached does;
+	// only the payload changes.
+	if !sh.store.setAbs(key, []byte(newVal), it.flags, it.expiresAt, cost) {
+		sh.srv.counters.setRejected.Add(1)
+		return "SERVER_ERROR out of memory storing object\r\n"
+	}
+	sh.journalLocked(persist.Op{
+		Kind:    persist.KindSet,
+		Key:     key,
+		Value:   []byte(newVal),
+		Flags:   it.flags,
+		Expires: persist.ExpiresFrom(it.expiresAt),
+		Size:    sh.store.itemSize(key, []byte(newVal)),
+		Cost:    cost,
+	})
+	return newVal + "\r\n"
+}
+
+// journalLocked appends one mutation to this shard's AOF. The caller holds
+// sh.mu. Journal failures are surfaced through the persist_errors stat
+// rather than failing the client op; with a healthy disk they do not happen.
+// An over-limit journal schedules an off-lock compaction instead of paying
+// for one inline.
+func (sh *shard) journalLocked(op persist.Op) {
+	if sh.mgr == nil {
+		return
+	}
+	if err := sh.mgr.Append(op); err != nil {
+		sh.srv.counters.persistErrors.Add(1)
+		sh.srv.logf("kvserver: journal: %v", err)
+		return
+	}
+	if sh.mgr.NeedsCompaction() {
+		sh.srv.requestCompact(sh)
+	}
+}
+
+// compact runs one snapshot-then-truncate cycle on this shard. The shard
+// lock is held only for the journal segment switch and the entry copy-out;
+// serializing and writing the snapshot — the part proportional to the data —
+// happens unlocked, so a snapshot never stalls the shard for the duration of
+// the disk write, and never stalls the other shards at all.
+func (sh *shard) compact() {
+	if sh.mgr == nil {
+		return
+	}
+	sh.compactMu.Lock()
+	defer sh.compactMu.Unlock()
+	sh.mu.Lock()
+	c, err := sh.mgr.BeginCompact()
+	if err != nil {
+		sh.mu.Unlock()
+		if !errors.Is(err, persist.ErrClosed) {
+			sh.srv.counters.persistErrors.Add(1)
+			sh.srv.logf("kvserver: snapshot: %v", err)
+		}
+		return
+	}
+	ops := sh.store.collectOps()
+	sh.mu.Unlock()
+	if err := c.Commit(emitOps(ops)); err != nil {
+		sh.srv.counters.persistErrors.Add(1)
+		sh.srv.logf("kvserver: snapshot: %v", err)
+		return
+	}
+	sh.srv.counters.persistSnapshots.Add(1)
+}

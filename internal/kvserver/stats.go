@@ -1,0 +1,67 @@
+package kvserver
+
+import "sync/atomic"
+
+// counters are the server-wide operation counts. They are atomics rather
+// than a mutex-guarded map so the request path never shares a lock across
+// shards: a shard only ever touches its own mutex plus these cache-line
+// increments.
+type counters struct {
+	cmdGet, cmdSet, cmdAdd, cmdReplace, cmdAppend, cmdPrepend atomic.Uint64
+	cmdIncr, cmdDecr, cmdTouch, cmdDelete                     atomic.Uint64
+	getHits, getMisses                                        atomic.Uint64
+	setRejected                                               atomic.Uint64
+	persistErrors, persistSnapshots                           atomic.Uint64
+}
+
+// cmdCounter maps a protocol verb to its counter. Unknown verbs never reach
+// it (dispatch filters them).
+func (c *counters) cmdCounter(cmd string) *atomic.Uint64 {
+	switch cmd {
+	case "get", "gets":
+		return &c.cmdGet
+	case "set":
+		return &c.cmdSet
+	case "add":
+		return &c.cmdAdd
+	case "replace":
+		return &c.cmdReplace
+	case "append":
+		return &c.cmdAppend
+	case "prepend":
+		return &c.cmdPrepend
+	case "incr":
+		return &c.cmdIncr
+	case "decr":
+		return &c.cmdDecr
+	case "touch":
+		return &c.cmdTouch
+	case "delete":
+		return &c.cmdDelete
+	}
+	return nil
+}
+
+// lines renders the counter STAT lines in a stable order.
+func (c *counters) lines() []statLine {
+	return []statLine{
+		{"cmd_get", c.cmdGet.Load()},
+		{"cmd_set", c.cmdSet.Load()},
+		{"cmd_add", c.cmdAdd.Load()},
+		{"cmd_replace", c.cmdReplace.Load()},
+		{"cmd_append", c.cmdAppend.Load()},
+		{"cmd_prepend", c.cmdPrepend.Load()},
+		{"cmd_incr", c.cmdIncr.Load()},
+		{"cmd_decr", c.cmdDecr.Load()},
+		{"cmd_touch", c.cmdTouch.Load()},
+		{"cmd_delete", c.cmdDelete.Load()},
+		{"get_hits", c.getHits.Load()},
+		{"get_misses", c.getMisses.Load()},
+		{"set_rejected", c.setRejected.Load()},
+	}
+}
+
+type statLine struct {
+	key string
+	val uint64
+}

@@ -396,25 +396,65 @@ func (st *store) restore(op persist.Op) error {
 	return nil
 }
 
-// emitOps streams every live entry as a snapshot op. The caller holds the
-// server mutex, so the view is consistent with the journal.
-func (st *store) emitOps(write func(persist.Op) error) error {
-	for key, it := range st.items {
-		_, meta, ok := st.peek(key)
+// collectOps copies every live entry out as a snapshot op, in
+// eviction-priority order whenever the policy can enumerate it (ROADMAP's
+// "snapshot order fidelity": replaying the ops in this order rebuilds the
+// policy's queues in their live order — exact within each queue, and exact
+// across queues whenever the live priority offsets are uniform; see
+// cache.EvictionOrdered for the post-churn caveat). The caller holds the
+// shard mutex only for this copy-out; the returned ops alias the stored
+// value slices, which is safe to serialize after unlocking because the
+// server never mutates a stored value in place — every rewrite installs a
+// fresh slice.
+func (st *store) collectOps() []persist.Op {
+	ops := make([]persist.Op, 0, len(st.items))
+	add := func(key string, cost int64) bool {
+		it, ok := st.items[key]
 		if !ok {
-			continue
+			return true
 		}
-		if err := write(persist.Op{
+		ops = append(ops, persist.Op{
 			Kind:    persist.KindSet,
 			Key:     key,
 			Value:   it.value,
 			Flags:   it.flags,
 			Expires: persist.ExpiresFrom(it.expiresAt),
 			Size:    st.itemSize(key, it.value),
-			Cost:    meta.Cost,
-		}); err != nil {
-			return err
+			Cost:    cost,
+		})
+		return true
+	}
+	visit := func(e cache.Entry) bool { return add(e.Key, e.Cost) }
+	switch {
+	case st.slab != nil:
+		// Per-class LRU order, classes ascending: each class queue is
+		// rebuilt in its original order on load.
+		for _, lru := range st.classLRU {
+			lru.VisitEvictionOrder(visit)
+		}
+	default:
+		if eo, ok := st.policy.(cache.EvictionOrdered); ok {
+			eo.VisitEvictionOrder(visit)
+		} else {
+			for key := range st.items {
+				if _, meta, ok := st.peek(key); ok {
+					add(key, meta.Cost)
+				}
+			}
 		}
 	}
-	return nil
+	return ops
+}
+
+// emitOps writes the ops collected by collectOps, the shape
+// persist.Compaction.Commit and persist.WriteSnapshotFile expect.
+func emitOps(ops []persist.Op) func(write func(persist.Op) error) error {
+	return func(write func(persist.Op) error) error {
+		for _, op := range ops {
+			if err := write(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }

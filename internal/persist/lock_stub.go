@@ -1,0 +1,9 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// flockExclusive is a no-op on platforms without flock; the lock file still
+// exists but provides no mutual exclusion there.
+func flockExclusive(f *os.File) error { return nil }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package persist
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock on f, returning
+// ErrLocked when another process already holds it.
+func flockExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrLocked
+	}
+	return err
+}

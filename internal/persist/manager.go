@@ -59,6 +59,7 @@ type RecoverStats struct {
 // Info is a point-in-time view of the manager for stats reporting.
 type Info struct {
 	Generation   uint64
+	SnapshotGen  uint64
 	AOFEnabled   bool
 	AOFSize      int64
 	Fsync        string
@@ -76,22 +77,29 @@ type Info struct {
 type Manager struct {
 	opts Options
 
-	mu     sync.Mutex
-	gen    uint64
-	aof    *os.File
-	aofLen int64
-	dirty  bool
-	closed bool
-	buf    []byte
+	mu         sync.Mutex
+	gen        uint64 // current AOF generation
+	snapGen    uint64 // newest on-disk snapshot generation (0 = none)
+	aof        *os.File
+	aofLen     int64
+	dirty      bool
+	closed     bool
+	compacting bool
+	buf        []byte
 
 	compactions  uint64
 	appendErrors uint64
 
+	lock *DirLock
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
-var errClosed = errors.New("persist: manager is closed")
+var (
+	// ErrClosed reports an operation on a Manager after Close or Kill.
+	ErrClosed     = errors.New("persist: manager is closed")
+	errCompacting = errors.New("persist: compaction already in progress")
+)
 
 // Open scans dir, restores the newest valid snapshot and replays the AOF
 // tail through apply, then opens the journal for appending. A torn final
@@ -113,48 +121,31 @@ func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
 	if opts.Dir == "" {
 		return nil, stats, errors.New("persist: Options.Dir is required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, stats, fmt.Errorf("persist: create dir: %w", err)
-	}
-	m := &Manager{opts: opts, stop: make(chan struct{})}
-
-	snapGens, aofGens, err := scanDir(opts.Dir)
+	lock, err := LockDir(opts.Dir)
 	if err != nil {
 		return nil, stats, err
 	}
-	var snapGen uint64
-	if len(snapGens) > 0 {
-		snapGen = snapGens[len(snapGens)-1]
-		n, err := LoadSnapshotFile(m.snapPath(snapGen), apply)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.SnapshotOps = n
+	m := &Manager{opts: opts, lock: lock, stop: make(chan struct{})}
+
+	gen, snapGen, stats, err := recoverDir(opts.Dir, opts.Logf, true, apply)
+	if err != nil {
+		lock.Release()
+		return nil, stats, err
 	}
-	m.gen = snapGen
-	for i, g := range aofGens {
-		if g < snapGen {
-			continue // subsumed by the snapshot
-		}
-		last := i == len(aofGens)-1
-		n, truncated, err := m.replayAOF(m.aofPath(g), last, apply)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.ReplayedOps += n
-		stats.TruncatedBytes += truncated
-		if g > m.gen {
-			m.gen = g
-		}
-	}
+	m.gen = gen
+	m.snapGen = snapGen
 	if m.gen == 0 {
 		m.gen = 1
 	}
 	stats.Generation = m.gen
-	m.removeStaleLocked(m.gen)
+	// Keep everything from the newest snapshot onward: with off-lock
+	// compaction a fresh AOF segment can exist before its snapshot lands,
+	// so generations between snapGen and gen are still load-bearing.
+	m.removeStaleLocked(m.snapGen)
 
 	if !opts.DisableAOF {
 		if err := m.openAOFLocked(m.gen); err != nil {
+			lock.Release()
 			return nil, stats, err
 		}
 		if opts.Fsync == FsyncEverySec {
@@ -165,6 +156,101 @@ func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
 	return m, stats, nil
 }
 
+// RecoverDir reads the persistent state in dir without opening it for
+// appending or taking its lock: the newest snapshot, then every subsequent
+// AOF segment, in order, through apply. A torn final record is skipped (but
+// not truncated — the files are left untouched). Callers use it to migrate a
+// data directory between layouts; mutual exclusion is their problem.
+func RecoverDir(dir string, logf func(format string, args ...any), apply func(Op) error) (RecoverStats, error) {
+	gen, snapGen, stats, err := recoverDir(dir, logf, false, apply)
+	_ = snapGen
+	stats.Generation = gen
+	return stats, err
+}
+
+// recoverDir restores dir's state through apply, returning the highest
+// generation seen and the generation of the snapshot loaded (0 when none).
+// With truncate set, a torn final AOF record is cut from the file, Redis
+// aof-load-truncated style; otherwise it is only skipped.
+func recoverDir(dir string, logf func(format string, args ...any), truncate bool, apply func(Op) error) (gen, snapGen uint64, stats RecoverStats, err error) {
+	snapGens, aofGens, err := scanDir(dir)
+	if err != nil {
+		return 0, 0, stats, err
+	}
+	if len(snapGens) > 0 {
+		snapGen = snapGens[len(snapGens)-1]
+		n, err := LoadSnapshotFile(filepath.Join(dir, snapName(snapGen)), apply)
+		if err != nil {
+			return 0, 0, stats, err
+		}
+		stats.SnapshotOps = n
+	}
+	gen = snapGen
+	for i, g := range aofGens {
+		if g < snapGen {
+			continue // subsumed by the snapshot
+		}
+		last := i == len(aofGens)-1
+		n, truncated, err := replayAOF(filepath.Join(dir, aofName(g)), last, truncate, logf, apply)
+		if err != nil {
+			return 0, 0, stats, err
+		}
+		stats.ReplayedOps += n
+		stats.TruncatedBytes += truncated
+		if g > gen {
+			gen = g
+		}
+	}
+	return gen, snapGen, stats, nil
+}
+
+// HasState reports whether dir directly contains snapshot or AOF files
+// (subdirectories are not considered). A missing dir simply has no state.
+func HasState(dir string) (bool, error) {
+	snaps, aofs, err := scanDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	return len(snaps)+len(aofs) > 0, nil
+}
+
+// SnapshotPath returns the path of generation gen's snapshot inside dir,
+// for callers staging a directory that a Manager will later Open.
+func SnapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, snapName(gen))
+}
+
+// RemoveState deletes every snapshot and AOF file directly inside dir
+// (subdirectories and other files are untouched). Layout migrations call it
+// after the state has been re-staged elsewhere.
+func RemoveState(dir string) error {
+	snaps, aofs, err := scanDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for _, g := range snaps {
+		if err := os.Remove(filepath.Join(dir, snapName(g))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: remove snapshot: %w", err)
+		}
+	}
+	for _, g := range aofs {
+		if err := os.Remove(filepath.Join(dir, aofName(g))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: remove aof: %w", err)
+		}
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so renames and removals inside it survive a
+// crash.
+func SyncDir(dir string) error { return syncDir(dir) }
+
 // Dir returns the data directory.
 func (m *Manager) Dir() string { return m.opts.Dir }
 
@@ -174,6 +260,7 @@ func (m *Manager) Info() Info {
 	defer m.mu.Unlock()
 	return Info{
 		Generation:   m.gen,
+		SnapshotGen:  m.snapGen,
 		AOFEnabled:   !m.opts.DisableAOF,
 		AOFSize:      m.aofLen,
 		Fsync:        m.opts.Fsync,
@@ -196,7 +283,7 @@ func (m *Manager) Append(op Op) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return errClosed
+		return ErrClosed
 	}
 	if m.aof == nil {
 		// Reopening after a failed compaction; the next Compact heals it.
@@ -236,46 +323,91 @@ func (m *Manager) NeedsCompaction() bool {
 	return m.aof == nil || m.aofLen > m.opts.AOFLimit
 }
 
-// Compact writes a snapshot of the live store (emit must call write once per
-// entry) into the next generation, switches the AOF to a fresh segment, and
-// deletes the previous generation's files. The caller must guarantee emit
-// sees a state consistent with the journal order (i.e. hold the store lock).
+// Compaction is an in-flight snapshot-then-truncate cycle started by
+// BeginCompact. The journal has already moved to the new generation's
+// segment; Commit serializes the snapshot that anchors it.
+type Compaction struct {
+	m    *Manager
+	gen  uint64
+	done bool
+}
+
+// BeginCompact retires the current journal segment — sync, close, open the
+// next generation's segment — and returns a Compaction whose Commit writes
+// the anchoring snapshot. The caller holds its store lock across BeginCompact
+// (so the segment switch is consistent with the apply order) but calls
+// Commit after releasing it: the expensive snapshot serialization then
+// happens off the hot path, stalling nothing.
 //
-// The snapshot rename is the commit point. Failures before it leave the
-// manager exactly as it was, appends continuing on the old segment; after
-// it the new generation is live, and a failure to open the fresh segment
-// detaches the journal (Append errors, NeedsCompaction turns true) until a
-// retry succeeds — it must never fall back to the superseded segment, which
-// recovery would skip.
-func (m *Manager) Compact(emit func(write func(Op) error) error) error {
+// Crash safety: between BeginCompact and Commit the newest snapshot is one
+// generation behind the live segment, and recovery replays every AOF segment
+// from that snapshot forward, so no acknowledged mutation is lost. A failure
+// to open the fresh segment aborts cleanly, appends continuing on the old
+// one.
+func (m *Manager) BeginCompact() (*Compaction, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return errClosed
+		return nil, ErrClosed
+	}
+	if m.compacting {
+		return nil, errCompacting
 	}
 	// Settle the old segment first: a sync failure here aborts cleanly.
 	if m.aof != nil {
 		if err := m.aof.Sync(); err != nil {
-			return fmt.Errorf("persist: aof sync: %w", err)
+			return nil, fmt.Errorf("persist: aof sync: %w", err)
 		}
 	}
 	newGen := m.gen + 1
-	if _, err := WriteSnapshotFile(m.snapPath(newGen), emit); err != nil {
-		return err
+	if !m.opts.DisableAOF {
+		old, oldLen := m.aof, m.aofLen
+		m.aof = nil
+		if err := m.openAOFLocked(newGen); err != nil {
+			m.aof, m.aofLen = old, oldLen
+			return nil, err
+		}
+		if old != nil {
+			old.Close() // best-effort: already synced above
+		}
 	}
 	m.gen = newGen
-	m.compactions++
-	if !m.opts.DisableAOF {
-		if m.aof != nil {
-			m.aof.Close() // best-effort: its contents are now superseded
-			m.aof = nil
-		}
-		if err := m.openAOFLocked(newGen); err != nil {
-			return err
-		}
+	m.compacting = true
+	return &Compaction{m: m, gen: newGen}, nil
+}
+
+// Commit writes the snapshot for this compaction's generation (emit must
+// call write once per live entry, reflecting the state at BeginCompact time)
+// and garbage-collects superseded generations. Safe to call without any
+// store lock held.
+func (c *Compaction) Commit(emit func(write func(Op) error) error) error {
+	if c.done {
+		return errors.New("persist: compaction already committed")
 	}
-	m.removeStaleLocked(newGen)
+	c.done = true
+	m := c.m
+	_, werr := WriteSnapshotFile(filepath.Join(m.opts.Dir, snapName(c.gen)), emit)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compacting = false
+	if werr != nil {
+		return werr
+	}
+	m.snapGen = c.gen
+	m.compactions++
+	m.removeStaleLocked(c.gen)
 	return syncDir(m.opts.Dir)
+}
+
+// Compact runs BeginCompact and Commit back to back: a synchronous
+// snapshot-then-truncate for callers that already hold their store lock and
+// accept the stall (shutdown snapshots, tests).
+func (m *Manager) Compact(emit func(write func(Op) error) error) error {
+	c, err := m.BeginCompact()
+	if err != nil {
+		return err
+	}
+	return c.Commit(emit)
 }
 
 // Close flushes and syncs the journal and stops the background sync loop.
@@ -292,6 +424,7 @@ func (m *Manager) Close() error {
 	m.wg.Wait()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.lock.Release()
 	if m.aof == nil {
 		return nil
 	}
@@ -325,6 +458,9 @@ func (m *Manager) Kill() {
 		m.aof.Close()
 		m.aof = nil
 	}
+	// A real crash drops the flock with the process; simulate that too so a
+	// recovering server can take the directory over.
+	m.lock.Release()
 }
 
 func (m *Manager) syncLoop() {
@@ -356,12 +492,15 @@ func (m *Manager) logf(format string, args ...any) {
 	}
 }
 
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d.camp", gen) }
+func aofName(gen uint64) string  { return fmt.Sprintf("aof-%08d.log", gen) }
+
 func (m *Manager) snapPath(gen uint64) string {
-	return filepath.Join(m.opts.Dir, fmt.Sprintf("snap-%08d.camp", gen))
+	return filepath.Join(m.opts.Dir, snapName(gen))
 }
 
 func (m *Manager) aofPath(gen uint64) string {
-	return filepath.Join(m.opts.Dir, fmt.Sprintf("aof-%08d.log", gen))
+	return filepath.Join(m.opts.Dir, aofName(gen))
 }
 
 // openAOFLocked opens (creating if needed) the segment for gen in append
@@ -402,9 +541,21 @@ func (m *Manager) openAOFLocked(gen uint64) error {
 }
 
 // replayAOF re-applies one segment. Only the final segment may be torn: its
-// damaged tail is truncated away with a warning. Corruption anywhere else —
-// a failed CRC or a tear in a non-final segment — refuses recovery.
-func (m *Manager) replayAOF(path string, last bool, apply func(Op) error) (ops int, truncated int64, err error) {
+// damaged tail is dropped with a warning, and — with truncate set — cut from
+// the file. Corruption anywhere else — a failed CRC or a tear in a non-final
+// segment — refuses recovery.
+func replayAOF(path string, last, truncate bool, logf func(format string, args ...any), apply func(Op) error) (ops int, truncated int64, err error) {
+	warnf := func(format string, args ...any) {
+		if logf != nil {
+			logf(format, args...)
+		}
+	}
+	cut := func(n int64) error {
+		if !truncate {
+			return nil
+		}
+		return os.Truncate(path, n)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("persist: read aof: %w", err)
@@ -418,8 +569,8 @@ func (m *Manager) replayAOF(path string, last bool, apply func(Op) error) (ops i
 			}
 			return 0, 0, fmt.Errorf("%w: aof %s header truncated", ErrCorruptRecord, name)
 		}
-		m.logf("persist: aof %s: truncating torn %d-byte header", name, len(data))
-		return 0, int64(len(data)), os.Truncate(path, 0)
+		warnf("persist: aof %s: truncating torn %d-byte header", name, len(data))
+		return 0, int64(len(data)), cut(0)
 	}
 	if _, err := checkFileHeader(data, aofMagic, AOFVersion, "aof"); err != nil {
 		return 0, 0, fmt.Errorf("persist: aof %s: %w", name, err)
@@ -432,9 +583,9 @@ func (m *Manager) replayAOF(path string, last bool, apply func(Op) error) (ops i
 				// A torn final record: everything before off was
 				// intact, so drop the tail and keep serving.
 				tail := int64(len(data) - off)
-				m.logf("persist: aof %s: truncating torn final record (%d bytes) after %d ops",
+				warnf("persist: aof %s: truncating torn final record (%d bytes) after %d ops",
 					name, tail, ops)
-				return ops, tail, os.Truncate(path, int64(off))
+				return ops, tail, cut(int64(off))
 			}
 			return ops, 0, fmt.Errorf("persist: aof %s: record %d: %w", name, ops, derr)
 		}

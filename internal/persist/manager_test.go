@@ -113,7 +113,11 @@ func TestManagerHardStopFsyncAlways(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// No Close: the *os.File is simply dropped, as in a SIGKILL.
+	// No Close: Kill drops the journal without any final sync, as in a
+	// SIGKILL (it also releases the dir flock, which a real process death
+	// would release implicitly — within one test process it must be
+	// explicit).
+	m.Kill()
 	st2 := newMapStore()
 	m2, stats := openTest(t, dir, Options{}, st2)
 	defer m2.Close()
