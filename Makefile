@@ -1,5 +1,12 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
+
+# The checked-in allocs/op budget for the protocol hot path. The PR 2
+# baseline was 161 allocs per 20-op batch; the zero-allocation protocol
+# rewrite (PR 3) landed at ~20 — this budget keeps headroom for pool and GC
+# jitter while still failing anything that creeps back past the ≥60%-cut
+# acceptance bar (64).
+ALLOCS_BUDGET ?= 48
 
 # pipefail so `go test | tee` recipes fail when go test fails, not when tee
 # does — otherwise a panicking benchmark still "succeeds" and commits a
@@ -7,7 +14,7 @@ BENCH_OUT ?= BENCH_PR2.json
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: verify fmt vet build test race race-all fuzz bench
+.PHONY: verify fmt vet build test race race-all fuzz bench alloc-gate
 
 verify: fmt vet build test race
 
@@ -44,6 +51,15 @@ bench:
 		.bench.tmp.txt
 	@rm -f .bench.tmp.txt
 	@echo "wrote $(BENCH_OUT)"
+
+# Fail if the server's protocol hot path regresses past the checked-in
+# allocs/op budget. Allocation counts are deterministic enough for CI where
+# wall-clock timings are not.
+alloc-gate:
+	@rm -f .allocgate.tmp.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServerOps/shards=1$$' -benchmem -benchtime 2s ./internal/kvserver/ | tee .allocgate.tmp.txt
+	$(GO) run ./cmd/benchfmt -gate 'BenchmarkServerOps/shards=1' -max-allocs $(ALLOCS_BUDGET) .allocgate.tmp.txt > /dev/null
+	@rm -f .allocgate.tmp.txt
 
 # Short fuzz pass over the binary decoders.
 fuzz:

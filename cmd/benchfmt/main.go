@@ -9,6 +9,12 @@
 //
 // Non-benchmark lines are ignored, so raw `go test` output can be piped in
 // unfiltered.
+//
+// With -gate and -max-allocs, benchfmt doubles as the CI allocation gate:
+// it exits non-zero when the named benchmark's allocs/op exceeds the budget,
+// so a PR that regresses the zero-allocation protocol path fails the build.
+// Allocation counts are deterministic enough to gate on where timings are
+// not.
 package main
 
 import (
@@ -50,6 +56,8 @@ func main() {
 func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	gate := flag.String("gate", "", "benchmark name (GOMAXPROCS suffix stripped) whose allocs/op must not exceed -max-allocs")
+	maxAllocs := flag.Float64("max-allocs", 0, "allocs/op budget enforced for -gate")
 	flag.Parse()
 
 	var results []Result
@@ -75,6 +83,11 @@ func run() error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found")
 	}
+	if *gate != "" {
+		if err := gateAllocs(results, *gate, *maxAllocs); err != nil {
+			return err
+		}
+	}
 	report := Report{
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -93,6 +106,27 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// gateAllocs fails when the named benchmark's allocs/op exceeds budget. The
+// benchmark must be present (a renamed or skipped benchmark must not pass
+// the gate silently) and must have been run with -benchmem.
+func gateAllocs(results []Result, name string, budget float64) error {
+	for _, r := range results {
+		if r.Name != name {
+			continue
+		}
+		allocs, ok := r.Metrics["allocs/op"]
+		if !ok {
+			return fmt.Errorf("gate %s: no allocs/op metric (run with -benchmem)", name)
+		}
+		if allocs > budget {
+			return fmt.Errorf("gate %s: %v allocs/op exceeds the budget of %v — the protocol hot path regressed", name, allocs, budget)
+		}
+		fmt.Fprintf(os.Stderr, "benchfmt: gate %s: %v allocs/op within budget %v\n", name, allocs, budget)
+		return nil
+	}
+	return fmt.Errorf("gate %s: benchmark not found in input", name)
 }
 
 // parse extracts benchmark result lines:

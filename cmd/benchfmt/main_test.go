@@ -37,6 +37,25 @@ PASS
 	}
 }
 
+func TestGateAllocs(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkServerOps/shards=1", Metrics: map[string]float64{"allocs/op": 20}},
+		{Name: "BenchmarkNoMem", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	if err := gateAllocs(results, "BenchmarkServerOps/shards=1", 48); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := gateAllocs(results, "BenchmarkServerOps/shards=1", 19); err == nil {
+		t.Fatal("over budget should fail")
+	}
+	if err := gateAllocs(results, "BenchmarkMissing", 48); err == nil {
+		t.Fatal("missing benchmark should fail")
+	}
+	if err := gateAllocs(results, "BenchmarkNoMem", 48); err == nil {
+		t.Fatal("missing allocs/op metric should fail")
+	}
+}
+
 func TestTrimGOMAXPROCS(t *testing.T) {
 	for give, want := range map[string]string{
 		"BenchmarkX-8":            "BenchmarkX",

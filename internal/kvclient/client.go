@@ -1,17 +1,25 @@
 // Package kvclient is a minimal memcached-text-protocol client for the
 // kvserver package, standing in for the Whalin Java client the paper's §4
 // experiment drives its IQ Twemcache deployment with.
+//
+// The hot paths share internal/proto's zero-copy line reader, tokenizer and
+// []byte integer parsers with the server: commands are built by appending
+// into a reusable buffer instead of fmt.Fprintf, and responses parse without
+// per-line string allocation. MultiGetFunc exposes the allocation-free read
+// path directly by lending out the client's scratch buffers.
 package kvclient
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
-	"strings"
 	"time"
+
+	"camp/internal/proto"
 )
 
 // Client is a single-connection KVS client. It is not safe for concurrent
@@ -19,7 +27,15 @@ import (
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
+	lr   *proto.LineReader
 	w    *bufio.Writer
+
+	// Reusable scratch: outgoing command lines, response tokens, and the
+	// key/value copies MultiGetFunc lends to its callback.
+	cmd []byte
+	tok [][]byte
+	key []byte
+	val []byte
 }
 
 // ErrServer wraps SERVER_ERROR responses.
@@ -34,18 +50,26 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvclient: dial %s: %w", addr, err)
 	}
+	r := bufio.NewReader(conn)
 	return &Client{
 		conn: conn,
-		r:    bufio.NewReader(conn),
+		r:    r,
+		lr:   proto.NewLineReader(r),
 		w:    bufio.NewWriter(conn),
 	}, nil
 }
 
 // Close tears down the connection.
 func (c *Client) Close() error {
-	fmt.Fprint(c.w, "quit\r\n")
+	c.w.WriteString("quit\r\n")
 	c.w.Flush()
 	return c.conn.Close()
+}
+
+// readLine returns the next response line, borrowed from the read buffer:
+// it is only valid until the next read.
+func (c *Client) readLine() ([]byte, error) {
+	return c.lr.ReadLine()
 }
 
 // Get fetches one key; ok is false on a miss.
@@ -60,55 +84,143 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 
 // MultiGet fetches several keys in one round trip, returning the hits.
 func (c *Client) MultiGet(keys ...string) (map[string][]byte, error) {
-	if len(keys) == 0 {
-		return nil, errors.New("kvclient: MultiGet needs at least one key")
-	}
-	if _, err := fmt.Fprintf(c.w, "get %s\r\n", strings.Join(keys, " ")); err != nil {
+	out := make(map[string][]byte, len(keys))
+	err := c.MultiGetFunc(func(key, value []byte, flags uint32) {
+		out[string(key)] = append([]byte(nil), value...)
+	}, keys...)
+	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// MultiGetFunc fetches several keys in one round trip and calls fn once per
+// hit, in server-reply order. The key and value slices are borrowed from the
+// client's reusable buffers: they are valid only during the callback and
+// must be copied to be retained. This is the allocation-free read path —
+// MultiGet is this plus a map and copies.
+func (c *Client) MultiGetFunc(fn func(key, value []byte, flags uint32), keys ...string) error {
+	if len(keys) == 0 {
+		return errors.New("kvclient: MultiGet needs at least one key")
+	}
+	cmd := append(c.cmd[:0], "get"...)
+	for _, k := range keys {
+		cmd = append(cmd, ' ')
+		cmd = append(cmd, k...)
+	}
+	cmd = append(cmd, '\r', '\n')
+	c.cmd = cmd
+	if _, err := c.w.Write(cmd); err != nil {
+		return err
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return err
 	}
-	out := make(map[string][]byte, len(keys))
 	for {
 		line, err := c.readLine()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if line == "END" {
-			return out, nil
+		if string(line) == "END" {
+			return nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 4 || fields[0] != "VALUE" {
-			return nil, fmt.Errorf("%w: unexpected line %q", ErrProtocol, line)
+		c.tok = proto.Tokenize(line, c.tok[:0])
+		toks := c.tok
+		if len(toks) != 4 || string(toks[0]) != "VALUE" {
+			return fmt.Errorf("%w: unexpected line %q", ErrProtocol, line)
 		}
-		n, err := strconv.Atoi(fields[3])
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("%w: bad length in %q", ErrProtocol, line)
+		flags, okFlags := proto.ParseUint32(toks[2])
+		n, okLen := proto.ParseInt(toks[3])
+		if !okFlags || !okLen || n < 0 {
+			return fmt.Errorf("%w: bad length in %q", ErrProtocol, line)
 		}
-		value := make([]byte, n)
+		// The tokens alias the read buffer; copy the key out before the
+		// value read below invalidates it.
+		c.key = append(c.key[:0], toks[1]...)
+		if int64(cap(c.val)) < n {
+			c.val = make([]byte, n)
+		}
+		value := c.val[:n]
 		if _, err := io.ReadFull(c.r, value); err != nil {
-			return nil, err
+			return err
 		}
 		if crlf, err := c.readLine(); err != nil {
-			return nil, err
-		} else if crlf != "" {
-			return nil, fmt.Errorf("%w: missing CRLF after value", ErrProtocol)
+			return err
+		} else if len(crlf) != 0 {
+			return fmt.Errorf("%w: missing CRLF after value", ErrProtocol)
 		}
-		out[fields[1]] = value
+		fn(c.key, value, flags)
+		// Don't let one huge value pin its buffer for the client's
+		// lifetime (the server caps its pooled scratch the same way).
+		if cap(c.val) > maxValScratch {
+			c.val = nil
+		}
 	}
+}
+
+// maxValScratch caps the reusable value buffer MultiGetFunc keeps between
+// calls.
+const maxValScratch = 64 << 10
+
+var crlf = []byte("\r\n")
+
+// writeStore sends "<cmd> <key> <flags> <ttl> <bytes>[ <cost>][ noreply]\r\n<value>\r\n".
+// Only the header goes through the command scratch; the value is written
+// directly, so no copy is made and the scratch never grows past header
+// size.
+func (c *Client) writeStore(cmd, key string, value []byte, flags uint32, ttl, cost int64, noreply bool) error {
+	buf := append(c.cmd[:0], cmd...)
+	buf = append(buf, ' ')
+	buf = append(buf, key...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, uint64(flags), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, ttl, 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(len(value)), 10)
+	if cost > 0 {
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, cost, 10)
+	}
+	if noreply {
+		buf = append(buf, " noreply"...)
+	}
+	buf = append(buf, '\r', '\n')
+	c.cmd = buf
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(value); err != nil {
+		return err
+	}
+	_, err := c.w.Write(crlf)
+	return err
+}
+
+// writeLineCmd sends "<verb> <key>[ <extra>...]\r\n" and flushes — the
+// shape every synchronous single-key command shares.
+func (c *Client) writeLineCmd(verb, key string, extra ...string) error {
+	buf := append(c.cmd[:0], verb...)
+	buf = append(buf, ' ')
+	buf = append(buf, key...)
+	for _, e := range extra {
+		buf = append(buf, ' ')
+		buf = append(buf, e...)
+	}
+	buf = append(buf, '\r', '\n')
+	c.cmd = buf
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	return c.w.Flush()
 }
 
 // Set stores a value. ttl is in seconds (0 = no expiry). cost of 0 lets the
 // server derive the cost from the IQ miss-to-set latency.
 func (c *Client) Set(key string, value []byte, flags uint32, ttl int64, cost int64) error {
-	if cost > 0 {
-		fmt.Fprintf(c.w, "set %s %d %d %d %d\r\n", key, flags, ttl, len(value), cost)
-	} else {
-		fmt.Fprintf(c.w, "set %s %d %d %d\r\n", key, flags, ttl, len(value))
+	if err := c.writeStore("set", key, value, flags, ttl, cost, false); err != nil {
+		return err
 	}
-	c.w.Write(value)
-	c.w.WriteString("\r\n")
 	if err := c.w.Flush(); err != nil {
 		return err
 	}
@@ -117,9 +229,9 @@ func (c *Client) Set(key string, value []byte, flags uint32, ttl int64, cost int
 		return err
 	}
 	switch {
-	case line == "STORED":
+	case string(line) == "STORED":
 		return nil
-	case strings.HasPrefix(line, "SERVER_ERROR"):
+	case bytes.HasPrefix(line, serverErrorPrefix):
 		return fmt.Errorf("%w: %s", ErrServer, line)
 	default:
 		return fmt.Errorf("%w: unexpected set response %q", ErrProtocol, line)
@@ -131,14 +243,7 @@ func (c *Client) Set(key string, value []byte, flags uint32, ttl int64, cost int
 // command sits in the client buffer until Flush (or a synchronous call's
 // flush) pushes it out; write errors surface here or there.
 func (c *Client) SetNoreply(key string, value []byte, flags uint32, ttl int64, cost int64) error {
-	if cost > 0 {
-		fmt.Fprintf(c.w, "set %s %d %d %d %d noreply\r\n", key, flags, ttl, len(value), cost)
-	} else {
-		fmt.Fprintf(c.w, "set %s %d %d %d noreply\r\n", key, flags, ttl, len(value))
-	}
-	c.w.Write(value)
-	_, err := c.w.WriteString("\r\n")
-	return err
+	return c.writeStore("set", key, value, flags, ttl, cost, true)
 }
 
 // Flush pushes buffered noreply commands to the server.
@@ -165,14 +270,13 @@ func (c *Client) Prepend(key string, value []byte) (bool, error) {
 	return c.storeCmd("prepend", key, value, 0, 0, 0)
 }
 
+var serverErrorPrefix = []byte("SERVER_ERROR")
+var clientErrorPrefix = []byte("CLIENT_ERROR")
+
 func (c *Client) storeCmd(cmd, key string, value []byte, flags uint32, ttl, cost int64) (bool, error) {
-	if cost > 0 {
-		fmt.Fprintf(c.w, "%s %s %d %d %d %d\r\n", cmd, key, flags, ttl, len(value), cost)
-	} else {
-		fmt.Fprintf(c.w, "%s %s %d %d %d\r\n", cmd, key, flags, ttl, len(value))
+	if err := c.writeStore(cmd, key, value, flags, ttl, cost, false); err != nil {
+		return false, err
 	}
-	c.w.Write(value)
-	c.w.WriteString("\r\n")
 	if err := c.w.Flush(); err != nil {
 		return false, err
 	}
@@ -181,11 +285,11 @@ func (c *Client) storeCmd(cmd, key string, value []byte, flags uint32, ttl, cost
 		return false, err
 	}
 	switch {
-	case line == "STORED":
+	case string(line) == "STORED":
 		return true, nil
-	case line == "NOT_STORED":
+	case string(line) == "NOT_STORED":
 		return false, nil
-	case strings.HasPrefix(line, "SERVER_ERROR"):
+	case bytes.HasPrefix(line, serverErrorPrefix):
 		return false, fmt.Errorf("%w: %s", ErrServer, line)
 	default:
 		return false, fmt.Errorf("%w: unexpected %s response %q", ErrProtocol, cmd, line)
@@ -205,8 +309,7 @@ func (c *Client) Decr(key string, delta uint64) (value uint64, ok bool, err erro
 }
 
 func (c *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
-	fmt.Fprintf(c.w, "%s %s %d\r\n", cmd, key, delta)
-	if err := c.w.Flush(); err != nil {
+	if err := c.writeLineCmd(cmd, key, strconv.FormatUint(delta, 10)); err != nil {
 		return 0, false, err
 	}
 	line, err := c.readLine()
@@ -214,13 +317,13 @@ func (c *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
 		return 0, false, err
 	}
 	switch {
-	case line == "NOT_FOUND":
+	case string(line) == "NOT_FOUND":
 		return 0, false, nil
-	case strings.HasPrefix(line, "CLIENT_ERROR"), strings.HasPrefix(line, "SERVER_ERROR"):
+	case bytes.HasPrefix(line, clientErrorPrefix), bytes.HasPrefix(line, serverErrorPrefix):
 		return 0, false, fmt.Errorf("%w: %s", ErrServer, line)
 	}
-	v, perr := strconv.ParseUint(line, 10, 64)
-	if perr != nil {
+	v, ok := proto.ParseUint(line)
+	if !ok {
 		return 0, false, fmt.Errorf("%w: unexpected %s response %q", ErrProtocol, cmd, line)
 	}
 	return v, true, nil
@@ -228,15 +331,14 @@ func (c *Client) arith(cmd, key string, delta uint64) (uint64, bool, error) {
 
 // Touch updates a key's expiry; ok is false when the key is absent.
 func (c *Client) Touch(key string, ttl int64) (bool, error) {
-	fmt.Fprintf(c.w, "touch %s %d\r\n", key, ttl)
-	if err := c.w.Flush(); err != nil {
+	if err := c.writeLineCmd("touch", key, strconv.FormatInt(ttl, 10)); err != nil {
 		return false, err
 	}
 	line, err := c.readLine()
 	if err != nil {
 		return false, err
 	}
-	switch line {
+	switch string(line) {
 	case "TOUCHED":
 		return true, nil
 	case "NOT_FOUND":
@@ -248,15 +350,14 @@ func (c *Client) Touch(key string, ttl int64) (bool, error) {
 
 // Delete removes a key, reporting whether it existed.
 func (c *Client) Delete(key string) (bool, error) {
-	fmt.Fprintf(c.w, "delete %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
+	if err := c.writeLineCmd("delete", key); err != nil {
 		return false, err
 	}
 	line, err := c.readLine()
 	if err != nil {
 		return false, err
 	}
-	switch line {
+	switch string(line) {
 	case "DELETED":
 		return true, nil
 	case "NOT_FOUND":
@@ -268,7 +369,9 @@ func (c *Client) Delete(key string) (bool, error) {
 
 // Stats fetches the server's STAT lines as a map.
 func (c *Client) Stats() (map[string]string, error) {
-	fmt.Fprint(c.w, "stats\r\n")
+	if _, err := c.w.WriteString("stats\r\n"); err != nil {
+		return nil, err
+	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
@@ -278,39 +381,41 @@ func (c *Client) Stats() (map[string]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		if line == "END" {
+		if string(line) == "END" {
 			return out, nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 || fields[0] != "STAT" {
+		c.tok = proto.Tokenize(line, c.tok[:0])
+		toks := c.tok
+		if len(toks) != 3 || string(toks[0]) != "STAT" {
 			return nil, fmt.Errorf("%w: unexpected stats line %q", ErrProtocol, line)
 		}
-		out[fields[1]] = fields[2]
+		out[string(toks[1])] = string(toks[2])
 	}
 }
 
 // Debug returns the server-side metadata line for a key.
 func (c *Client) Debug(key string) (string, bool, error) {
-	fmt.Fprintf(c.w, "debug %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
+	if err := c.writeLineCmd("debug", key); err != nil {
 		return "", false, err
 	}
 	line, err := c.readLine()
 	if err != nil {
 		return "", false, err
 	}
-	if line == "NOT_FOUND" {
+	if string(line) == "NOT_FOUND" {
 		return "", false, nil
 	}
-	if !strings.HasPrefix(line, "DEBUG ") {
+	if !bytes.HasPrefix(line, []byte("DEBUG ")) {
 		return "", false, fmt.Errorf("%w: unexpected debug response %q", ErrProtocol, line)
 	}
-	return line, true, nil
+	return string(line), true, nil
 }
 
 // FlushAll empties the server.
 func (c *Client) FlushAll() error {
-	fmt.Fprint(c.w, "flush_all\r\n")
+	if _, err := c.w.WriteString("flush_all\r\n"); err != nil {
+		return err
+	}
 	if err := c.w.Flush(); err != nil {
 		return err
 	}
@@ -318,7 +423,7 @@ func (c *Client) FlushAll() error {
 	if err != nil {
 		return err
 	}
-	if line != "OK" {
+	if string(line) != "OK" {
 		return fmt.Errorf("%w: unexpected flush response %q", ErrProtocol, line)
 	}
 	return nil
@@ -326,7 +431,9 @@ func (c *Client) FlushAll() error {
 
 // Version returns the server version banner.
 func (c *Client) Version() (string, error) {
-	fmt.Fprint(c.w, "version\r\n")
+	if _, err := c.w.WriteString("version\r\n"); err != nil {
+		return "", err
+	}
 	if err := c.w.Flush(); err != nil {
 		return "", err
 	}
@@ -334,16 +441,8 @@ func (c *Client) Version() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if !strings.HasPrefix(line, "VERSION ") {
+	if !bytes.HasPrefix(line, []byte("VERSION ")) {
 		return "", fmt.Errorf("%w: unexpected version response %q", ErrProtocol, line)
 	}
-	return strings.TrimPrefix(line, "VERSION "), nil
-}
-
-func (c *Client) readLine() (string, error) {
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimRight(line, "\r\n"), nil
+	return string(line[len("VERSION "):]), nil
 }

@@ -150,6 +150,40 @@ func TestMissingCRLFAfterValue(t *testing.T) {
 	}
 }
 
+func TestMultiGetFuncBorrowedSlices(t *testing.T) {
+	addr := fakeServer(t, func(line string, w *bufio.Writer) {
+		if strings.HasPrefix(line, "get") {
+			w.WriteString("VALUE a 7 2\r\nv1\r\nVALUE b 0 3\r\nv22\r\nEND\r\n")
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	type hit struct {
+		key, value string
+		flags      uint32
+	}
+	var hits []hit
+	err = c.MultiGetFunc(func(key, value []byte, flags uint32) {
+		// The slices are only valid during the callback; copy.
+		hits = append(hits, hit{string(key), string(value), flags})
+	}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []hit{{"a", "v1", 7}, {"b", "v22", 0}}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hit %d = %v, want %v", i, hits[i], want[i])
+		}
+	}
+}
+
 func TestSetNoreplyPipelines(t *testing.T) {
 	var mu sync.Mutex
 	var lines []string

@@ -3,6 +3,7 @@ package kvserver
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -143,6 +144,128 @@ func TestArithMalformed(t *testing.T) {
 		if !strings.HasPrefix(string(buf[:n]), "CLIENT_ERROR") {
 			t.Fatalf("cmd %q: response %q", cmd, buf[:n])
 		}
+	}
+}
+
+// TestCmdGetCountsCommands pins memcached's stats semantics: a multiget is
+// ONE cmd_get no matter how many keys it names, while get_hits/get_misses
+// stay per-key. The old code bumped cmd_get once per key.
+func TestCmdGetCountsCommands(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	c := dial(t, s)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := c.Set(k, []byte("v"), 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.MultiGet("a", "b", "c", "miss1", "miss2"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["cmd_get"] != "1" {
+		t.Fatalf("cmd_get = %s after one 5-key multiget, want 1", stats["cmd_get"])
+	}
+	if stats["get_hits"] != "3" || stats["get_misses"] != "2" {
+		t.Fatalf("hits/misses = %s/%s, want 3/2", stats["get_hits"], stats["get_misses"])
+	}
+	// A second command increments it again.
+	if _, _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ = c.Stats()
+	if stats["cmd_get"] != "2" {
+		t.Fatalf("cmd_get = %s after two get commands, want 2", stats["cmd_get"])
+	}
+}
+
+// TestExpiredItemsReclaimed proves expired-but-untouched items stop counting
+// against capacity: the incremental sweep each mutation runs reclaims them
+// without any access, so curr_items/bytes fall back to the live set and the
+// expired_reclaimed stat accounts for every one.
+func TestExpiredItemsReclaimed(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20, Shards: 1, DisableIQ: true})
+	c := dial(t, s)
+	const expiring = 50
+	for i := 0; i < expiring; i++ {
+		if err := c.Set(fmt.Sprintf("dead%d", i), []byte("xxxxxxxx"), 0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Set("live", []byte("v"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1100 * time.Millisecond)
+	// Only mutations from here on — never touch the dead keys. Each set
+	// probes a few random items, so repeated writes to one key drain the
+	// whole expired population.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := c.Set("churn", []byte("w"), 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats["curr_items"] == "2" { // "live" + "churn": every expired item gone
+			if stats["evictions"] != "0" {
+				t.Fatalf("expired items were evicted (%s), not reclaimed", stats["evictions"])
+			}
+			reclaimed, _ := strconv.Atoi(stats["expired_reclaimed"])
+			if reclaimed < expiring {
+				t.Fatalf("expired_reclaimed = %d, want >= %d", reclaimed, expiring)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			stats, _ := c.Stats()
+			t.Fatalf("sweep never reclaimed the expired set: curr_items=%s expired_reclaimed=%s",
+				stats["curr_items"], stats["expired_reclaimed"])
+		}
+	}
+}
+
+// TestMissTableFullAdmitsFresh pins the incremental IQ miss-table expiry: a
+// table full of stale entries admits a fresh miss by probing out a bounded
+// handful of them, instead of either a full 64k sweep or dropping the miss.
+func TestMissTableFullAdmitsFresh(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 20, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shards[0]
+	now := time.Now()
+	stale := now.Add(-2 * missTableTTL)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; len(sh.missedAt) < missTableMax; i++ {
+		sh.missedAt[fmt.Sprintf("old%d", i)] = stale
+	}
+	sh.recordMissLocked("fresh", now)
+	if _, ok := sh.missedAt["fresh"]; !ok {
+		t.Fatal("fresh miss dropped by a table full of stale entries")
+	}
+	// Bounded work: at most missTableProbes stale entries were expired.
+	if got := len(sh.missedAt); got < missTableMax-missTableProbes+1 {
+		t.Fatalf("table shrank to %d — a full sweep ran instead of bounded probes", got)
+	}
+	// A table full of RECENT misses still drops the newcomer.
+	for k := range sh.missedAt {
+		sh.missedAt[k] = now
+	}
+	for i := 0; len(sh.missedAt) < missTableMax; i++ {
+		sh.missedAt[fmt.Sprintf("pad%d", i)] = now
+	}
+	before := len(sh.missedAt)
+	sh.recordMissLocked("dropped", now)
+	if _, ok := sh.missedAt["dropped"]; ok {
+		t.Fatal("a table full of recent misses should drop new ones")
+	}
+	if len(sh.missedAt) != before {
+		t.Fatalf("recent entries were expired: %d -> %d", before, len(sh.missedAt))
 	}
 }
 

@@ -1,0 +1,109 @@
+package kvserver
+
+import (
+	"bufio"
+	"net"
+	"strconv"
+	"sync"
+
+	"camp/internal/proto"
+)
+
+// connBufSize sizes the per-connection bufio reader and writer. 16 KiB keeps
+// typical multiget responses and pipelined set batches inside one buffer.
+const connBufSize = 16 << 10
+
+// maxPooledScratch caps the response scratch a connection returns to the
+// pool, so one huge stats or debug reply doesn't pin memory forever.
+const maxPooledScratch = 64 << 10
+
+// connState is the pooled per-connection scratch that makes the request loop
+// allocation-free: the buffered reader/writer pair, the zero-copy line
+// reader, token slots for the in-place tokenizer, the hit list a multiget
+// collects under the shard locks, and the append-based response buffer that
+// replaces fmt.Fprintf. Everything is reused across commands and, via the
+// pool, across connections.
+type connState struct {
+	r  *bufio.Reader
+	w  *bufio.Writer
+	lr *proto.LineReader
+
+	tokens [][]byte
+	hits   []*item
+	out    []byte
+}
+
+var connStatePool = sync.Pool{
+	New: func() any {
+		cs := &connState{
+			r:      bufio.NewReaderSize(nil, connBufSize),
+			w:      bufio.NewWriterSize(nil, connBufSize),
+			tokens: make([][]byte, 0, 32),
+			hits:   make([]*item, 0, 32),
+			out:    make([]byte, 0, 512),
+		}
+		cs.lr = proto.NewLineReader(cs.r)
+		return cs
+	},
+}
+
+func getConnState(conn net.Conn) *connState {
+	cs := connStatePool.Get().(*connState)
+	cs.r.Reset(conn)
+	cs.w.Reset(conn)
+	return cs
+}
+
+func putConnState(cs *connState) {
+	cs.r.Reset(nil)
+	cs.w.Reset(nil)
+	// Drop item references so evicted values can be collected while the
+	// state sits in the pool.
+	hits := cs.hits[:cap(cs.hits)]
+	for i := range hits {
+		hits[i] = nil
+	}
+	cs.hits = hits[:0]
+	if cap(cs.out) > maxPooledScratch {
+		cs.out = make([]byte, 0, 512)
+	}
+	connStatePool.Put(cs)
+}
+
+// appendStat appends one "STAT <name> <value>\r\n" line.
+func appendStat(out []byte, name string, v uint64) []byte {
+	out = append(out, "STAT "...)
+	out = append(out, name...)
+	out = append(out, ' ')
+	out = strconv.AppendUint(out, v, 10)
+	return append(out, '\r', '\n')
+}
+
+// appendStatInt is appendStat for signed values.
+func appendStatInt(out []byte, name string, v int64) []byte {
+	out = append(out, "STAT "...)
+	out = append(out, name...)
+	out = append(out, ' ')
+	out = strconv.AppendInt(out, v, 10)
+	return append(out, '\r', '\n')
+}
+
+// appendStatStr is appendStat for string values.
+func appendStatStr(out []byte, name, v string) []byte {
+	out = append(out, "STAT "...)
+	out = append(out, name...)
+	out = append(out, ' ')
+	out = append(out, v...)
+	return append(out, '\r', '\n')
+}
+
+// appendClientError appends "CLIENT_ERROR <what...>\r\n" built from constant
+// pieces, keeping malformed-command replies off the allocator too.
+func appendClientError(out []byte, parts ...string) []byte {
+	out = append(out, "CLIENT_ERROR"...)
+	for _, p := range parts {
+		out = append(out, ' ')
+		out = append(out, p...)
+	}
+	return append(out, '\r', '\n')
+}

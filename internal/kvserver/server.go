@@ -29,6 +29,13 @@
 // request path: the journal switches segments under the shard lock, but the
 // snapshot itself is serialized and written unlocked, so compaction never
 // stalls more than the one shard, and only for the in-memory copy-out.
+//
+// The request loop is allocation-free on the steady state: command lines are
+// read with a zero-copy line reader and tokenized in place, integers parse
+// straight from the wire bytes, per-connection scratch (token slots, hit
+// list, value read buffer) lives in a pooled connection state, and replies
+// are built by appending to a reusable buffer — keys only materialize as Go
+// strings at the item-map boundary, on writes and IQ miss records.
 package kvserver
 
 import (
@@ -38,12 +45,12 @@ import (
 	"io"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"camp/internal/core"
 	"camp/internal/persist"
+	"camp/internal/proto"
 )
 
 // Memory-management modes.
@@ -381,6 +388,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// errCloseConn makes a handler close the connection after its reply has been
+// written: the stream position is no longer trustworthy (e.g. a storage
+// command whose payload length never parsed), so resynchronization is
+// impossible and continuing would misread payload bytes as commands.
+var errCloseConn = errors.New("kvserver: close connection")
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -389,59 +402,79 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	cs := getConnState(conn)
+	defer putConnState(cs)
 	for {
-		line, err := readLine(r)
+		line, err := cs.lr.ReadLine()
 		if err != nil {
+			if err == proto.ErrLineTooLong {
+				// Tell the client why before dropping it (the old
+				// unbounded reader was a memory DoS surface; a command
+				// this long is a confused or hostile peer — and if it was
+				// a storage command, a data block may follow, so
+				// continuing would desync anyway).
+				cs.w.Write(replyLineTooLong)
+				cs.w.Flush()
+			}
 			return
 		}
-		quit, err := s.dispatch(line, r, w)
-		if err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-		if quit {
+		quit, err := s.dispatch(line, cs)
+		// Flush even on a fatal error so the final CLIENT_ERROR reaches the
+		// client before the close.
+		ferr := cs.w.Flush()
+		if quit || err != nil || ferr != nil {
 			return
 		}
 	}
 }
 
-// dispatch handles one command line; it returns quit=true for "quit".
-func (s *Server) dispatch(line string, r *bufio.Reader, w *bufio.Writer) (quit bool, fatal error) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		_, err := w.WriteString("ERROR\r\n")
+// dispatch handles one command line; it returns quit=true for "quit" and a
+// non-nil error when the connection must close. The tokens alias the read
+// buffer, so handlers extract everything they need before touching the
+// reader again.
+func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
+	cs.tokens = proto.Tokenize(line, cs.tokens[:0])
+	toks := cs.tokens
+	if len(toks) == 0 {
+		_, err := cs.w.Write(replyError)
 		return false, err
 	}
-	switch fields[0] {
+	switch string(toks[0]) {
 	case "get", "gets":
-		return false, s.handleGet(fields[1:], w)
-	case "set", "add", "replace", "append", "prepend":
-		return false, s.handleStore(fields[0], fields[1:], r, w)
-	case "incr", "decr":
-		return false, s.handleArith(fields[0], fields[1:], w)
+		return false, s.handleGet(toks[1:], cs)
+	case "set":
+		return false, s.handleStore(cmdSet, toks[1:], cs)
+	case "add":
+		return false, s.handleStore(cmdAdd, toks[1:], cs)
+	case "replace":
+		return false, s.handleStore(cmdReplace, toks[1:], cs)
+	case "append":
+		return false, s.handleStore(cmdAppend, toks[1:], cs)
+	case "prepend":
+		return false, s.handleStore(cmdPrepend, toks[1:], cs)
+	case "incr":
+		return false, s.handleArith(true, toks[1:], cs)
+	case "decr":
+		return false, s.handleArith(false, toks[1:], cs)
 	case "touch":
-		return false, s.handleTouch(fields[1:], w)
+		return false, s.handleTouch(toks[1:], cs)
 	case "delete":
-		return false, s.handleDelete(fields[1:], w)
+		return false, s.handleDelete(toks[1:], cs)
 	case "stats":
-		return false, s.handleStats(w)
+		return false, s.handleStats(cs)
 	case "flush_all":
 		s.handleFlushAll()
-		_, err := w.WriteString("OK\r\n")
+		_, err := cs.w.Write(replyOK)
 		return false, err
 	case "version":
-		_, err := w.WriteString("VERSION camp-kvs/1.0\r\n")
+		_, err := cs.w.Write(replyVersion)
 		return false, err
 	case "debug":
-		return false, s.handleDebug(fields[1:], w)
+		return false, s.handleDebug(toks[1:], cs)
 	case "quit":
 		return true, nil
 	default:
-		_, err := w.WriteString("ERROR\r\n")
+		_, err := cs.w.Write(replyError)
 		return false, err
 	}
 }
@@ -464,169 +497,313 @@ func (s *Server) handleFlushAll() {
 	}
 }
 
-func (s *Server) handleGet(keys []string, w *bufio.Writer) error {
+func (s *Server) handleGet(keys [][]byte, cs *connState) error {
+	w := cs.w
 	if len(keys) == 0 {
-		_, err := w.WriteString("CLIENT_ERROR get requires a key\r\n")
+		_, err := w.Write(replyGetNoKey)
 		return err
 	}
-	type hit struct {
-		key   string
-		flags uint32
-		value []byte
-	}
-	hits := make([]hit, 0, len(keys))
+	// One cmd_get per command, as memcached counts it; hits and misses stay
+	// per-key.
+	s.counters.cmdGet.Add(1)
+	hits := cs.hits[:0]
 	now := time.Now()
 	for _, k := range keys {
-		s.counters.cmdGet.Add(1)
-		sh := s.shardFor(k)
+		sh := s.shardForBytes(k)
 		sh.mu.Lock()
-		it, ok := sh.store.get(k, now)
+		it, ok := sh.store.getBytes(k, now)
 		if !ok {
 			if !s.cfg.DisableIQ {
-				sh.recordMissLocked(k, now)
+				sh.recordMissLocked(string(k), now)
 			}
 			sh.mu.Unlock()
 			s.counters.getMisses.Add(1)
 			continue
 		}
-		// Stored values are never mutated in place, so the reference can
-		// be written out after the lock drops.
-		h := hit{key: k, flags: it.flags, value: it.value}
+		// Stored values (and the item's key string) are never mutated in
+		// place, so the references stay valid after the lock drops.
 		sh.mu.Unlock()
 		s.counters.getHits.Add(1)
-		hits = append(hits, h)
+		hits = append(hits, it)
 	}
-	for _, h := range hits {
-		if _, err := fmt.Fprintf(w, "VALUE %s %d %d\r\n", h.key, h.flags, len(h.value)); err != nil {
+	// Keep the grown slot capacity but drop the item references once the
+	// reply is written, so an idle connection never pins evicted values
+	// against the GC.
+	defer func() {
+		for i := range hits {
+			hits[i] = nil
+		}
+		cs.hits = hits[:0]
+	}()
+	for _, it := range hits {
+		out := append(cs.out[:0], "VALUE "...)
+		out = append(out, it.key...)
+		out = append(out, ' ')
+		out = strconv.AppendUint(out, uint64(it.flags), 10)
+		out = append(out, ' ')
+		out = strconv.AppendInt(out, int64(len(it.value)), 10)
+		out = append(out, '\r', '\n')
+		cs.out = out
+		if _, err := w.Write(out); err != nil {
 			return err
 		}
-		if _, err := w.Write(h.value); err != nil {
+		if _, err := w.Write(it.value); err != nil {
 			return err
 		}
-		if _, err := w.WriteString("\r\n"); err != nil {
+		if _, err := w.Write(crlf); err != nil {
 			return err
 		}
 	}
-	_, err := w.WriteString("END\r\n")
+	_, err := w.Write(replyEnd)
 	return err
 }
 
 // handleStore covers set, add, replace, append and prepend:
 //
 //	<cmd> <key> <flags> <exptime> <bytes> [cost] [noreply]\r\n<data>\r\n
-func (s *Server) handleStore(cmd string, args []string, r *bufio.Reader, w *bufio.Writer) error {
+//
+// Malformed command lines must not desynchronize the stream: the client has
+// already committed to sending <bytes>+2 payload bytes, so whenever <bytes>
+// parsed, the payload is drained before the error reply — otherwise those
+// bytes would be misread as command lines. When <bytes> itself is missing
+// or unparsable the payload length is unknown, resynchronization is
+// impossible, and the connection closes after the reply, as memcached does.
+func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
+	w := cs.w
 	noreply := false
-	if len(args) > 0 && args[len(args)-1] == "noreply" {
+	if n := len(args); n > 0 && string(args[n-1]) == "noreply" {
 		noreply = true
-		args = args[:len(args)-1]
+		args = args[:n-1]
+	}
+	var nbytes int64 = -1
+	if len(args) >= 4 {
+		if v, ok := proto.ParseInt(args[3]); ok && v >= 0 {
+			nbytes = v
+		}
 	}
 	if len(args) != 4 && len(args) != 5 {
-		_, err := fmt.Fprintf(w, "CLIENT_ERROR bad %s command\r\n", cmd)
-		return err
+		return s.storeError(cs, cmd, nbytes, noreply, "command")
 	}
-	key := args[0]
-	flags, err1 := strconv.ParseUint(args[1], 10, 32)
-	ttl, err2 := strconv.ParseInt(args[2], 10, 64)
-	nbytes, err3 := strconv.ParseInt(args[3], 10, 64)
+	if nbytes < 0 {
+		return s.storeError(cs, cmd, nbytes, noreply, "arguments")
+	}
+	flags, okFlags := proto.ParseUint32(args[1])
+	ttl, okTTL := proto.ParseInt(args[2])
 	var cost int64
-	var err4 error
+	okCost := true
 	if len(args) == 5 {
-		cost, err4 = strconv.ParseInt(args[4], 10, 64)
+		cost, okCost = proto.ParseInt(args[4])
 	}
-	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 || cost < 0 {
-		_, err := fmt.Fprintf(w, "CLIENT_ERROR bad %s arguments\r\n", cmd)
-		return err
+	if !okFlags || !okTTL || !okCost || cost < 0 {
+		return s.storeError(cs, cmd, nbytes, noreply, "arguments")
 	}
 	if nbytes > s.cfg.MaxValueBytes {
 		// Drain and discard the payload to keep the stream in sync.
-		if err := discard(r, nbytes+2); err != nil {
+		badChunk, err := drainData(cs.r, nbytes)
+		if err != nil {
 			return err
 		}
-		if noreply {
-			return nil
+		if !noreply {
+			reply := replyTooLarge
+			if badChunk {
+				reply = replyBadDataChunk
+			}
+			if _, err := w.Write(reply); err != nil {
+				return err
+			}
 		}
-		_, err := w.WriteString("SERVER_ERROR object too large for cache\r\n")
-		return err
+		if badChunk {
+			return errCloseConn
+		}
+		return nil
 	}
+	// The tokens alias the read buffer: materialize the key before the
+	// payload read below invalidates them.
+	key := string(args[0])
 	value := make([]byte, nbytes)
-	if _, err := io.ReadFull(r, value); err != nil {
+	if _, err := io.ReadFull(cs.r, value); err != nil {
 		return err
 	}
-	// Consume the trailing \r\n.
-	if crlf, err := readLine(r); err != nil {
-		return err
-	} else if crlf != "" {
-		_, err := w.WriteString("CLIENT_ERROR bad data chunk\r\n")
-		return err
+	if err := readDataTerminator(cs.r); err != nil {
+		if err != errBadDataChunk {
+			return err
+		}
+		// The terminator bytes were garbage; the stream position is
+		// unknowable, so report (noreply suppresses even this, as
+		// memcached's out_string does) and close.
+		if !noreply {
+			w.Write(replyBadDataChunk)
+		}
+		return errCloseConn
 	}
 
 	now := time.Now()
-	s.counters.cmdCounter(cmd).Add(1)
+	s.counters.storeCounter(cmd).Add(1)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	reply := sh.storeLocked(cmd, key, value, uint32(flags), ttl, cost, now)
+	reply := sh.storeLocked(cmd, key, value, flags, ttl, cost, now)
 	sh.mu.Unlock()
 
 	if noreply {
 		return nil
 	}
-	_, err := w.WriteString(reply)
+	_, err := w.Write(reply)
 	return err
 }
 
+// storeError reports a malformed storage command. With a parsed <bytes> the
+// in-flight payload is drained first so the connection survives; without one
+// the connection must close (errCloseConn) because the stream cannot be
+// resynchronized. A drained payload whose own terminator is garbage also
+// closes the connection, for the same reason.
+func (s *Server) storeError(cs *connState, cmd storeCmd, nbytes int64, noreply bool, what string) error {
+	badChunk := false
+	if nbytes >= 0 {
+		var err error
+		badChunk, err = drainData(cs.r, nbytes)
+		if err != nil {
+			return err
+		}
+	}
+	if !noreply {
+		cs.out = appendClientError(cs.out[:0], "bad", cmd.String(), what)
+		if _, err := cs.w.Write(cs.out); err != nil {
+			return err
+		}
+	}
+	if nbytes < 0 || badChunk {
+		return errCloseConn
+	}
+	return nil
+}
+
+// drainData discards a data block and its terminator, keeping the stream
+// aligned for the next command line. The terminator is parsed, not assumed
+// to be two bytes, so bare-LF framing drains correctly too; badChunk
+// reports terminator garbage (the caller must close — the stream position
+// past it is unknowable).
+func drainData(r *bufio.Reader, nbytes int64) (badChunk bool, err error) {
+	if err := discard(r, nbytes); err != nil {
+		return false, err
+	}
+	if err := readDataTerminator(r); err != nil {
+		if err == errBadDataChunk {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+var errBadDataChunk = errors.New("kvserver: bad data chunk")
+
+// readDataTerminator consumes the terminator after a data block: exactly
+// "\r\n", or a bare "\n". Anything else — including the "\r\r\n" a
+// TrimRight-based reader used to accept — is errBadDataChunk.
+func readDataTerminator(r *bufio.Reader) error {
+	b, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b == '\n' {
+		return nil
+	}
+	if b != '\r' {
+		return errBadDataChunk
+	}
+	b, err = r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b != '\n' {
+		return errBadDataChunk
+	}
+	return nil
+}
+
 // handleArith covers incr/decr: <cmd> <key> <delta> [noreply].
-func (s *Server) handleArith(cmd string, args []string, w *bufio.Writer) error {
+func (s *Server) handleArith(incr bool, args [][]byte, cs *connState) error {
+	w := cs.w
+	name := "decr"
+	if incr {
+		name = "incr"
+	}
 	noreply := false
-	if len(args) > 0 && args[len(args)-1] == "noreply" {
+	if n := len(args); n > 0 && string(args[n-1]) == "noreply" {
 		noreply = true
-		args = args[:len(args)-1]
+		args = args[:n-1]
 	}
 	if len(args) != 2 {
-		_, err := fmt.Fprintf(w, "CLIENT_ERROR bad %s command\r\n", cmd)
+		if noreply {
+			return nil
+		}
+		cs.out = appendClientError(cs.out[:0], "bad", name, "command")
+		_, err := w.Write(cs.out)
 		return err
 	}
-	delta, err := strconv.ParseUint(args[1], 10, 64)
-	if err != nil {
-		_, err := w.WriteString("CLIENT_ERROR invalid numeric delta argument\r\n")
+	delta, ok := proto.ParseUint(args[1])
+	if !ok {
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadDelta)
 		return err
 	}
-	key := args[0]
+	key := string(args[0])
 	now := time.Now()
-	s.counters.cmdCounter(cmd).Add(1)
+	if incr {
+		s.counters.cmdIncr.Add(1)
+	} else {
+		s.counters.cmdDecr.Add(1)
+	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	reply := sh.arithLocked(cmd, key, delta, now)
+	val, reply := sh.arithLocked(incr, key, delta, now)
 	sh.mu.Unlock()
 	if noreply {
 		return nil
 	}
-	_, werr := w.WriteString(reply)
-	return werr
+	if reply != nil {
+		_, err := w.Write(reply)
+		return err
+	}
+	out := strconv.AppendUint(cs.out[:0], val, 10)
+	out = append(out, '\r', '\n')
+	cs.out = out
+	_, err := w.Write(out)
+	return err
 }
 
 // handleTouch covers touch <key> <exptime> [noreply].
-func (s *Server) handleTouch(args []string, w *bufio.Writer) error {
+func (s *Server) handleTouch(args [][]byte, cs *connState) error {
+	w := cs.w
 	noreply := false
-	if len(args) > 0 && args[len(args)-1] == "noreply" {
+	if n := len(args); n > 0 && string(args[n-1]) == "noreply" {
 		noreply = true
-		args = args[:len(args)-1]
+		args = args[:n-1]
 	}
 	if len(args) != 2 {
-		_, err := w.WriteString("CLIENT_ERROR bad touch command\r\n")
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadTouch)
 		return err
 	}
-	ttl, err := strconv.ParseInt(args[1], 10, 64)
-	if err != nil {
-		_, err := w.WriteString("CLIENT_ERROR invalid exptime argument\r\n")
+	ttl, ok := proto.ParseInt(args[1])
+	if !ok {
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadExptime)
 		return err
 	}
-	key := args[0]
+	key := string(args[0])
 	now := time.Now()
 	s.counters.cmdTouch.Add(1)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	it, ok := sh.store.get(key, now)
-	if ok {
+	it, found := sh.store.get(key, now)
+	if found {
 		it.expiresAt = expiryFrom(ttl, now)
 		sh.journalLocked(persist.Op{
 			Kind:    persist.KindTouch,
@@ -638,25 +815,29 @@ func (s *Server) handleTouch(args []string, w *bufio.Writer) error {
 	if noreply {
 		return nil
 	}
-	reply := "NOT_FOUND\r\n"
-	if ok {
-		reply = "TOUCHED\r\n"
+	reply := replyNotFound
+	if found {
+		reply = replyTouched
 	}
-	_, werr := w.WriteString(reply)
-	return werr
+	_, err := w.Write(reply)
+	return err
 }
 
-func (s *Server) handleDelete(args []string, w *bufio.Writer) error {
+func (s *Server) handleDelete(args [][]byte, cs *connState) error {
+	w := cs.w
 	noreply := false
-	if len(args) > 0 && args[len(args)-1] == "noreply" {
+	if n := len(args); n > 0 && string(args[n-1]) == "noreply" {
 		noreply = true
-		args = args[:len(args)-1]
+		args = args[:n-1]
 	}
 	if len(args) != 1 {
-		_, err := w.WriteString("CLIENT_ERROR bad delete command\r\n")
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadDelete)
 		return err
 	}
-	key := args[0]
+	key := string(args[0])
 	s.counters.cmdDelete.Add(1)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -668,18 +849,18 @@ func (s *Server) handleDelete(args []string, w *bufio.Writer) error {
 	if noreply {
 		return nil
 	}
+	reply := replyNotFound
 	if ok {
-		_, err := w.WriteString("DELETED\r\n")
-		return err
+		reply = replyDeleted
 	}
-	_, err := w.WriteString("NOT_FOUND\r\n")
+	_, err := w.Write(reply)
 	return err
 }
 
-func (s *Server) handleStats(w *bufio.Writer) error {
-	lines := make([]string, 0, 32)
+func (s *Server) handleStats(cs *connState) error {
+	out := cs.out[:0]
 	for _, l := range s.counters.lines() {
-		lines = append(lines, fmt.Sprintf("STAT %s %d\r\n", l.key, l.val))
+		out = appendStat(out, l.key, l.val)
 	}
 	// Aggregate store-level numbers shard by shard, holding one shard lock
 	// at a time: stats never stall the whole keyspace.
@@ -688,6 +869,7 @@ func (s *Server) handleStats(w *bufio.Writer) error {
 		bytes     int64
 		evictions uint64
 		rejected  uint64
+		reclaimed uint64
 		queues    = -1
 	)
 	for _, sh := range s.shards {
@@ -696,6 +878,7 @@ func (s *Server) handleStats(w *bufio.Writer) error {
 		bytes += sh.store.used()
 		evictions += sh.store.evictions()
 		rejected += sh.store.rejected()
+		reclaimed += sh.store.reclaimed()
 		if qc := sh.store.queueCount(); qc >= 0 {
 			if queues < 0 {
 				queues = 0
@@ -704,19 +887,20 @@ func (s *Server) handleStats(w *bufio.Writer) error {
 		}
 		sh.mu.Unlock()
 	}
-	lines = append(lines,
-		fmt.Sprintf("STAT curr_items %d\r\n", items),
-		fmt.Sprintf("STAT bytes %d\r\n", bytes),
-		fmt.Sprintf("STAT limit_maxbytes %d\r\n", s.cfg.MemoryBytes),
-		fmt.Sprintf("STAT evictions %d\r\n", evictions),
-		fmt.Sprintf("STAT policy %s\r\n", s.shards[0].store.policyName()),
-		fmt.Sprintf("STAT mode %s\r\n", s.cfg.Mode),
-		fmt.Sprintf("STAT shards %d\r\n", len(s.shards)),
-		// Admission pressure: how many stores the eviction policy refused.
-		fmt.Sprintf("STAT rejected_sets %d\r\n", rejected),
-	)
+	out = appendStatInt(out, "curr_items", int64(items))
+	out = appendStatInt(out, "bytes", bytes)
+	out = appendStatInt(out, "limit_maxbytes", s.cfg.MemoryBytes)
+	out = appendStat(out, "evictions", evictions)
+	// Expired items reclaimed lazily: on access plus the incremental sweep
+	// the mutation path runs.
+	out = appendStat(out, "expired_reclaimed", reclaimed)
+	out = appendStatStr(out, "policy", s.shards[0].store.policyName())
+	out = appendStatStr(out, "mode", s.cfg.Mode)
+	out = appendStatInt(out, "shards", int64(len(s.shards)))
+	// Admission pressure: how many stores the eviction policy refused.
+	out = appendStat(out, "rejected_sets", rejected)
 	if queues >= 0 {
-		lines = append(lines, fmt.Sprintf("STAT camp_queues %d\r\n", queues))
+		out = appendStatInt(out, "camp_queues", int64(queues))
 	}
 	if s.cfg.Persist != nil {
 		var (
@@ -739,61 +923,58 @@ func (s *Server) handleStats(w *bufio.Writer) error {
 			fsync = info.Fsync
 			aofEnabled = info.AOFEnabled
 		}
-		aof := 0
+		aof := uint64(0)
 		if aofEnabled {
 			aof = 1
 		}
-		lines = append(lines,
-			fmt.Sprintf("STAT persist_gen %d\r\n", gen),
-			fmt.Sprintf("STAT aof_enabled %d\r\n", aof),
-			fmt.Sprintf("STAT aof_bytes %d\r\n", aofBytes),
-			fmt.Sprintf("STAT aof_fsync %s\r\n", fsync),
-			fmt.Sprintf("STAT persist_compactions %d\r\n", compactions),
-			fmt.Sprintf("STAT persist_errors %d\r\n", s.counters.persistErrors.Load()),
-			fmt.Sprintf("STAT persist_snapshots %d\r\n", s.counters.persistSnapshots.Load()),
-			fmt.Sprintf("STAT restored_snapshot_ops %d\r\n", s.recovered.SnapshotOps),
-			fmt.Sprintf("STAT restored_aof_ops %d\r\n", s.recovered.ReplayedOps),
-			fmt.Sprintf("STAT restored_truncated_bytes %d\r\n", s.recovered.TruncatedBytes),
-		)
+		out = appendStat(out, "persist_gen", gen)
+		out = appendStat(out, "aof_enabled", aof)
+		out = appendStatInt(out, "aof_bytes", aofBytes)
+		out = appendStatStr(out, "aof_fsync", fsync)
+		out = appendStat(out, "persist_compactions", compactions)
+		out = appendStat(out, "persist_errors", s.counters.persistErrors.Load())
+		out = appendStat(out, "persist_snapshots", s.counters.persistSnapshots.Load())
+		out = appendStatInt(out, "restored_snapshot_ops", int64(s.recovered.SnapshotOps))
+		out = appendStatInt(out, "restored_aof_ops", int64(s.recovered.ReplayedOps))
+		out = appendStatInt(out, "restored_truncated_bytes", s.recovered.TruncatedBytes)
 	}
-	for _, l := range lines {
-		if _, err := w.WriteString(l); err != nil {
-			return err
-		}
-	}
-	_, err := w.WriteString("END\r\n")
+	out = append(out, replyEnd...)
+	cs.out = out
+	_, err := cs.w.Write(out)
 	return err
 }
 
-func (s *Server) handleDebug(args []string, w *bufio.Writer) error {
+func (s *Server) handleDebug(args [][]byte, cs *connState) error {
+	w := cs.w
 	if len(args) != 1 {
-		_, err := w.WriteString("CLIENT_ERROR debug requires a key\r\n")
+		_, err := w.Write(replyDebugNoKey)
 		return err
 	}
 	key := args[0]
-	sh := s.shardFor(key)
+	sh := s.shardForBytes(key)
 	sh.mu.Lock()
-	it, meta, ok := sh.store.peek(key)
+	it, meta, ok := sh.store.peekBytes(key)
 	var flags uint32
 	if ok {
 		flags = it.flags
 	}
 	sh.mu.Unlock()
 	if !ok {
-		_, err := w.WriteString("NOT_FOUND\r\n")
+		_, err := w.Write(replyNotFound)
 		return err
 	}
-	_, err := fmt.Fprintf(w, "DEBUG %s size=%d cost=%d flags=%d\r\n", key, meta.Size, meta.Cost, flags)
+	out := append(cs.out[:0], "DEBUG "...)
+	out = append(out, key...)
+	out = append(out, " size="...)
+	out = strconv.AppendInt(out, meta.Size, 10)
+	out = append(out, " cost="...)
+	out = strconv.AppendInt(out, meta.Cost, 10)
+	out = append(out, " flags="...)
+	out = strconv.AppendUint(out, uint64(flags), 10)
+	out = append(out, '\r', '\n')
+	cs.out = out
+	_, err := w.Write(out)
 	return err
-}
-
-// readLine reads a \r\n- or \n-terminated line without the terminator.
-func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimRight(line, "\r\n"), nil
 }
 
 func discard(r *bufio.Reader, n int64) error {

@@ -1,8 +1,10 @@
 package kvserver
 
 import (
+	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -277,16 +279,18 @@ func TestVersionAndUnknownCommand(t *testing.T) {
 
 func TestMalformedSet(t *testing.T) {
 	s := startServer(t, Config{MemoryBytes: 1 << 20})
-	conn, err := net.Dial("tcp", s.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+	// Commands whose <bytes> field is missing or unparsable leave the stream
+	// position unknowable, so the server replies and then closes, as
+	// memcached does. Each needs its own connection.
 	for _, cmd := range []string{
 		"set onlykey\r\n",
-		"set k notanum 0 5\r\nhello\r\n",
 		"set k 0 0 -3\r\n",
+		"set k 0 0 notanum\r\n",
 	} {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
 		fmt.Fprint(conn, cmd)
 		buf := make([]byte, 128)
 		n, err := conn.Read(buf)
@@ -296,6 +300,232 @@ func TestMalformedSet(t *testing.T) {
 		if !strings.HasPrefix(string(buf[:n]), "CLIENT_ERROR") {
 			t.Fatalf("cmd %q: response %q", cmd, buf[:n])
 		}
+		// The connection must now be closed: the next read reports EOF
+		// rather than hanging or echoing payload-parsed-as-commands.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(buf); err == nil {
+			t.Fatalf("cmd %q: connection should be closed after the error", cmd)
+		}
+		conn.Close()
+	}
+	// With a parsable <bytes>, the payload is drained and the connection
+	// survives.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "set k notanum 0 5\r\nhello\r\n")
+	buf := make([]byte, 128)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(buf[:n]), "CLIENT_ERROR") {
+		t.Fatalf("bad-flags set: response %q", buf[:n])
+	}
+	fmt.Fprint(conn, "version\r\n")
+	n, err = conn.Read(buf)
+	if err != nil || !strings.HasPrefix(string(buf[:n]), "VERSION") {
+		t.Fatalf("connection unusable after drained malformed set: %q, %v", buf[:n], err)
+	}
+}
+
+// TestMalformedSetKeepsStreamSync is the protocol-desync regression: a
+// malformed storage command whose payload looks like protocol must not have
+// that payload parsed as commands. The drained bytes here spell "get good",
+// which the old code would have executed, answering the real get twice.
+func TestMalformedSetKeepsStreamSync(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprint(conn, "set good 0 0 2\r\nhi\r\n")
+	if line, _ := r.ReadString('\n'); line != "STORED\r\n" {
+		t.Fatalf("set good = %q", line)
+	}
+	// Bad flags, valid bytes=10: payload is "get good\r\n".
+	fmt.Fprint(conn, "set k nope 0 10\r\nget good\r\n\r\n")
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "CLIENT_ERROR") {
+		t.Fatalf("malformed set = %q", line)
+	}
+	// The very next reply must belong to this get — exactly one VALUE block.
+	fmt.Fprint(conn, "get good\r\n")
+	if line, _ := r.ReadString('\n'); line != "VALUE good 0 2\r\n" {
+		t.Fatalf("get after malformed set = %q", line)
+	}
+	if line, _ := r.ReadString('\n'); line != "hi\r\n" {
+		t.Fatalf("value = %q", line)
+	}
+	if line, _ := r.ReadString('\n'); line != "END\r\n" {
+		t.Fatalf("end = %q", line)
+	}
+	// And the stream stays aligned for the next command.
+	fmt.Fprint(conn, "version\r\n")
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("version after resync = %q", line)
+	}
+}
+
+// TestMalformedSetBareLFDrain pins the drain against bare-LF framing: the
+// data block of a malformed set terminated with "\n" alone must be drained
+// by parsing the terminator, not by assuming two CRLF bytes — a fixed +2
+// would eat the first byte of the next command.
+func TestMalformedSetBareLFDrain(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprint(conn, "set k nope 0 5\nhello\nversion\n")
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "CLIENT_ERROR") {
+		t.Fatalf("malformed LF set = %q", line)
+	}
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("command after LF drain = %q — the drain ate into the next command", line)
+	}
+}
+
+// TestNoreplyErrorsSuppressed pins memcached's noreply contract: noreply
+// suppresses the response even when the command is malformed, so a
+// pipelining client never reads a stale error as the answer to its next
+// command.
+func TestNoreplyErrorsSuppressed(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprint(conn,
+		"incr k notanum noreply\r\n"+
+			"touch k soon noreply\r\n"+
+			"delete a b noreply\r\n"+
+			"set k nope 0 2 noreply\r\nhi\r\n"+
+			"version\r\n")
+	if line, _ := r.ReadString('\n'); !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("first reply after noreply errors = %q, want VERSION", line)
+	}
+}
+
+// TestLineTooLong pins the oversized-command-line behavior: the server
+// reports CLIENT_ERROR line too long and closes, instead of either
+// buffering without bound (the old reader) or dropping the connection with
+// no explanation.
+func TestLineTooLong(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "get %s\r\n", strings.Repeat("k", 10000))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "CLIENT_ERROR line too long") {
+		t.Fatalf("oversized line reply = %q, %v", line, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadByte(); err == nil {
+		t.Fatal("connection should close after an oversized line")
+	}
+}
+
+// TestFlushPreservesLifetimeStats pins that flush_all does not zero the
+// lifetime eviction counter, even though it rebuilds the policy object.
+func TestFlushPreservesLifetimeStats(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 4096, Policy: "lru", ItemOverhead: 1})
+	c := dial(t, s)
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), make([]byte, 100), 0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := strconv.Atoi(stats["evictions"])
+	if before == 0 {
+		t.Fatal("workload should have caused evictions")
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := strconv.Atoi(stats["evictions"])
+	if after != before {
+		t.Fatalf("evictions = %d after flush, want %d preserved", after, before)
+	}
+}
+
+// TestStrictLineTerminators pins the terminator grammar: "\n" and "\r\n"
+// end a line, while extra '\r' bytes are content — the old
+// TrimRight("\r\n") reader accepted "foo\r\r\n" and any run of \r/\n after
+// a data block as a clean chunk end.
+func TestStrictLineTerminators(t *testing.T) {
+	s := startServer(t, Config{MemoryBytes: 1 << 20})
+
+	// Bare-LF framing works end to end.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprint(conn, "set lf 0 0 2\nok\nget lf\n")
+	if line, _ := r.ReadString('\n'); line != "STORED\r\n" {
+		t.Fatalf("LF set = %q", line)
+	}
+	if line, _ := r.ReadString('\n'); line != "VALUE lf 0 2\r\n" {
+		t.Fatalf("LF get = %q", line)
+	}
+
+	// A data block terminated by "\r\r\n" is a bad chunk: the server
+	// reports it and closes, rather than treating the run as clean.
+	conn2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprint(conn2, "set k 0 0 3\r\nabc\r\r\n")
+	buf := make([]byte, 128)
+	n, err := conn2.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); !strings.HasPrefix(got, "CLIENT_ERROR bad data chunk") {
+		t.Fatalf("\\r\\r\\n chunk end = %q", got)
+	}
+	conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn2.Read(buf); err == nil {
+		t.Fatal("connection should close after a bad data chunk")
+	}
+
+	// A command line ending "\r\r\n" keeps its extra '\r' as content: the
+	// key becomes "k\r", which simply misses — it is not silently cleaned
+	// to "k".
+	conn3, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	r3 := bufio.NewReader(conn3)
+	fmt.Fprint(conn3, "set k 0 0 1\r\nv\r\nget k\r\r\n")
+	if line, _ := r3.ReadString('\n'); line != "STORED\r\n" {
+		t.Fatalf("set = %q", line)
+	}
+	if line, _ := r3.ReadString('\n'); line != "END\r\n" {
+		t.Fatalf("get with trailing \\r should miss, got %q", line)
 	}
 }
 

@@ -9,6 +9,63 @@ import (
 	"camp/internal/persist"
 )
 
+// Protocol replies as byte slices: handlers write them straight to the
+// connection buffer, so the steady-state reply path performs no formatting
+// and no allocation.
+var (
+	replyStored       = []byte("STORED\r\n")
+	replyNotStored    = []byte("NOT_STORED\r\n")
+	replyNotFound     = []byte("NOT_FOUND\r\n")
+	replyDeleted      = []byte("DELETED\r\n")
+	replyTouched      = []byte("TOUCHED\r\n")
+	replyOK           = []byte("OK\r\n")
+	replyEnd          = []byte("END\r\n")
+	replyError        = []byte("ERROR\r\n")
+	replyVersion      = []byte("VERSION camp-kvs/1.0\r\n")
+	replyOOM          = []byte("SERVER_ERROR out of memory storing object\r\n")
+	replyTooLarge     = []byte("SERVER_ERROR object too large for cache\r\n")
+	replyBadDataChunk = []byte("CLIENT_ERROR bad data chunk\r\n")
+	replyNonNumeric   = []byte("CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+	replyBadDelta     = []byte("CLIENT_ERROR invalid numeric delta argument\r\n")
+	replyBadExptime   = []byte("CLIENT_ERROR invalid exptime argument\r\n")
+	replyBadTouch     = []byte("CLIENT_ERROR bad touch command\r\n")
+	replyBadDelete    = []byte("CLIENT_ERROR bad delete command\r\n")
+	replyGetNoKey     = []byte("CLIENT_ERROR get requires a key\r\n")
+	replyLineTooLong  = []byte("CLIENT_ERROR line too long\r\n")
+	replyDebugNoKey   = []byte("CLIENT_ERROR debug requires a key\r\n")
+	crlf              = []byte("\r\n")
+)
+
+// storeCmd enumerates the storage verbs so dispatch resolves the command
+// once, from the wire bytes, and the handlers never re-compare strings.
+type storeCmd uint8
+
+const (
+	cmdSet storeCmd = iota
+	cmdAdd
+	cmdReplace
+	cmdAppend
+	cmdPrepend
+)
+
+// String returns the protocol verb (a constant, so error formatting stays
+// allocation-free).
+func (c storeCmd) String() string {
+	switch c {
+	case cmdSet:
+		return "set"
+	case cmdAdd:
+		return "add"
+	case cmdReplace:
+		return "replace"
+	case cmdAppend:
+		return "append"
+	case cmdPrepend:
+		return "prepend"
+	}
+	return "store"
+}
+
 // shard is one independent slice of the server: its own store (policy,
 // allocator, items map), its own IQ miss table, its own mutex, and — when
 // persistence is on — its own journal and snapshot generations under
@@ -31,11 +88,12 @@ type shard struct {
 	compactMu sync.Mutex
 }
 
-// shardIndex routes a key to its shard with FNV-1a. The hash must be stable
+// shardIndex routes a key to its shard with FNV-1a, accepting the key in
+// either its wire []byte form or as a string. The hash must be stable
 // across restarts — each shard recovers only its own journal, so the routing
 // that wrote a key must find it again after a reboot — which rules out the
 // seeded maphash the in-process camp.Cache shards with.
-func shardIndex(key string, n int) int {
+func shardIndex[K ~string | ~[]byte](key K, n int) int {
 	if n == 1 {
 		return 0
 	}
@@ -55,18 +113,39 @@ func (s *Server) shardFor(key string) *shard {
 	return s.shards[shardIndex(key, len(s.shards))]
 }
 
-// recordMissLocked notes a get miss for IQ cost derivation, bounding the
-// table so an attacker cannot balloon it with unique keys. The caller holds
-// sh.mu.
+func (s *Server) shardForBytes(key []byte) *shard {
+	return s.shards[shardIndex(key, len(s.shards))]
+}
+
+// missTableMax bounds the IQ miss table so an attacker cannot balloon it
+// with unique keys; missTableProbes is how many entries a full table checks
+// for staleness per new miss; missTableTTL is when a pending miss goes
+// stale (the matching set never came).
+const (
+	missTableMax    = 1 << 16
+	missTableProbes = 8
+	missTableTTL    = time.Minute
+)
+
+// recordMissLocked notes a get miss for IQ cost derivation. A full table
+// probes a bounded handful of entries for staleness — Go's randomized map
+// iteration starts each probe run at a fresh bucket, so successive misses
+// walk the whole table incrementally. The previous full-table sweep here
+// was O(64k) under sh.mu on the get path: one unlucky get could stall its
+// shard for milliseconds. The caller holds sh.mu.
 func (sh *shard) recordMissLocked(key string, now time.Time) {
-	const maxPending = 1 << 16
-	if len(sh.missedAt) >= maxPending {
+	if len(sh.missedAt) >= missTableMax {
+		probes := missTableProbes
 		for k, at := range sh.missedAt {
-			if now.Sub(at) > time.Minute {
+			if probes <= 0 {
+				break
+			}
+			probes--
+			if now.Sub(at) > missTableTTL {
 				delete(sh.missedAt, k)
 			}
 		}
-		if len(sh.missedAt) >= maxPending {
+		if len(sh.missedAt) >= missTableMax {
 			return // still full of recent misses; drop this one
 		}
 	}
@@ -81,30 +160,36 @@ func (sh *shard) costOfLocked(key string) int64 {
 	return 0
 }
 
+// expirySweepProbes is how many items each mutation probes for lazy expiry
+// (see store.sweepExpired).
+const expirySweepProbes = 4
+
 // storeLocked applies one storage command and returns the protocol reply.
 // The caller holds sh.mu.
-func (sh *shard) storeLocked(cmd, key string, value []byte, flags uint32, ttl, cost int64, now time.Time) string {
+func (sh *shard) storeLocked(cmd storeCmd, key string, value []byte, flags uint32, ttl, cost int64, now time.Time) []byte {
+	sh.store.sweepExpired(now, expirySweepProbes)
 	existing, exists := sh.store.items[key]
 	if exists && !existing.expiresAt.IsZero() && now.After(existing.expiresAt) {
 		sh.store.delete(key)
+		sh.store.expiredReclaimed++
 		existing, exists = nil, false
 	}
 	switch cmd {
-	case "add":
+	case cmdAdd:
 		if exists {
-			return "NOT_STORED\r\n"
+			return replyNotStored
 		}
-	case "replace":
+	case cmdReplace:
 		if !exists {
-			return "NOT_STORED\r\n"
+			return replyNotStored
 		}
-	case "append", "prepend":
+	case cmdAppend, cmdPrepend:
 		if !exists {
-			return "NOT_STORED\r\n"
+			return replyNotStored
 		}
 		// Concatenation keeps the existing flags and cost; the payload
 		// just grows.
-		if cmd == "append" {
+		if cmd == cmdAppend {
 			value = append(append(make([]byte, 0, len(existing.value)+len(value)), existing.value...), value...)
 		} else {
 			value = append(append(make([]byte, 0, len(existing.value)+len(value)), value...), existing.value...)
@@ -129,7 +214,7 @@ func (sh *shard) storeLocked(cmd, key string, value []byte, flags uint32, ttl, c
 	expires := expiryFrom(ttl, now)
 	if !sh.store.setAbs(key, value, flags, expires, cost) {
 		sh.srv.counters.setRejected.Add(1)
-		return "SERVER_ERROR out of memory storing object\r\n"
+		return replyOOM
 	}
 	sh.journalLocked(persist.Op{
 		Kind:    persist.KindSet,
@@ -140,45 +225,47 @@ func (sh *shard) storeLocked(cmd, key string, value []byte, flags uint32, ttl, c
 		Size:    sh.store.itemSize(key, value),
 		Cost:    cost,
 	})
-	return "STORED\r\n"
+	return replyStored
 }
 
-// arithLocked applies incr/decr and returns the protocol reply. The caller
-// holds sh.mu.
-func (sh *shard) arithLocked(cmd, key string, delta uint64, now time.Time) string {
+// arithLocked applies incr/decr. A nil reply means success and val is the
+// new value for the caller to format; otherwise reply is the error. The
+// caller holds sh.mu.
+func (sh *shard) arithLocked(incr bool, key string, delta uint64, now time.Time) (val uint64, reply []byte) {
+	sh.store.sweepExpired(now, expirySweepProbes)
 	it, ok := sh.store.get(key, now)
 	if !ok {
-		return "NOT_FOUND\r\n"
+		return 0, replyNotFound
 	}
 	cur, perr := strconv.ParseUint(string(it.value), 10, 64)
 	if perr != nil {
-		return "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+		return 0, replyNonNumeric
 	}
-	if cmd == "incr" {
+	if incr {
 		cur += delta // wraps at 2^64, as memcached does
 	} else if cur < delta {
 		cur = 0 // decr clamps at zero
 	} else {
 		cur -= delta
 	}
-	newVal := strconv.FormatUint(cur, 10)
+	newVal := strconv.AppendUint(nil, cur, 10)
 	cost := sh.costOfLocked(key)
 	// Arithmetic keeps the item's flags and expiration, as memcached does;
 	// only the payload changes.
-	if !sh.store.setAbs(key, []byte(newVal), it.flags, it.expiresAt, cost) {
+	if !sh.store.setAbs(key, newVal, it.flags, it.expiresAt, cost) {
 		sh.srv.counters.setRejected.Add(1)
-		return "SERVER_ERROR out of memory storing object\r\n"
+		return 0, replyOOM
 	}
 	sh.journalLocked(persist.Op{
 		Kind:    persist.KindSet,
 		Key:     key,
-		Value:   []byte(newVal),
+		Value:   newVal,
 		Flags:   it.flags,
 		Expires: persist.ExpiresFrom(it.expiresAt),
-		Size:    sh.store.itemSize(key, []byte(newVal)),
+		Size:    sh.store.itemSize(key, newVal),
 		Cost:    cost,
 	})
-	return newVal + "\r\n"
+	return cur, nil
 }
 
 // journalLocked appends one mutation to this shard's AOF. The caller holds

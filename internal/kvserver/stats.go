@@ -14,32 +14,20 @@ type counters struct {
 	persistErrors, persistSnapshots                           atomic.Uint64
 }
 
-// cmdCounter maps a protocol verb to its counter. Unknown verbs never reach
-// it (dispatch filters them).
-func (c *counters) cmdCounter(cmd string) *atomic.Uint64 {
+// storeCounter maps a storage verb to its counter. Unknown verbs never
+// reach it (dispatch filters them).
+func (c *counters) storeCounter(cmd storeCmd) *atomic.Uint64 {
 	switch cmd {
-	case "get", "gets":
-		return &c.cmdGet
-	case "set":
-		return &c.cmdSet
-	case "add":
+	case cmdAdd:
 		return &c.cmdAdd
-	case "replace":
+	case cmdReplace:
 		return &c.cmdReplace
-	case "append":
+	case cmdAppend:
 		return &c.cmdAppend
-	case "prepend":
+	case cmdPrepend:
 		return &c.cmdPrepend
-	case "incr":
-		return &c.cmdIncr
-	case "decr":
-		return &c.cmdDecr
-	case "touch":
-		return &c.cmdTouch
-	case "delete":
-		return &c.cmdDelete
 	}
-	return nil
+	return &c.cmdSet
 }
 
 // lines renders the counter STAT lines in a stable order.

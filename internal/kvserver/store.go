@@ -12,8 +12,14 @@ import (
 	"camp/internal/persist"
 )
 
-// item is one stored key-value pair. Callers hold the server mutex.
+// item is one stored key-value pair. Callers hold the server mutex. The key
+// is duplicated into the item so hot reads arriving as wire []byte never
+// materialize a string: the map lookup converts in place (which Go compiles
+// allocation-free) and every downstream consumer — policy bump, VALUE reply
+// — reuses this stored string. value and key are never mutated in place, so
+// handlers may reference them after the shard lock drops.
 type item struct {
+	key       string
 	value     []byte
 	flags     uint32
 	expiresAt time.Time // zero means no expiry
@@ -38,6 +44,15 @@ type store struct {
 	buddy *alloc.BuddyAllocator
 
 	evicted uint64
+	// expiredReclaimed counts items removed because their TTL had passed —
+	// on access and by the incremental sweep — as opposed to policy
+	// evictions.
+	expiredReclaimed uint64
+	// evictedBase/rejectedBase carry policy-held counts across flush():
+	// flush replaces the policy object, so its lifetime stats are folded in
+	// here first (slab mode's st.evicted is store-held already).
+	evictedBase  uint64
+	rejectedBase uint64
 }
 
 func newStore(cfg Config) (*store, error) {
@@ -125,21 +140,59 @@ func (st *store) itemSize(key string, value []byte) int64 {
 
 func (st *store) get(key string, now time.Time) (*item, bool) {
 	it, ok := st.items[key]
-	if ok && !it.expiresAt.IsZero() && now.After(it.expiresAt) {
-		st.delete(key)
-		it, ok = nil, false
+	if !ok {
+		return nil, false
+	}
+	return st.getResident(it, now)
+}
+
+// getBytes is get for a key still in its wire []byte form: the map access
+// compiles to a no-allocation lookup, and on a hit the item's own key
+// string serves the policy bump, so the read path never allocates.
+func (st *store) getBytes(key []byte, now time.Time) (*item, bool) {
+	it, ok := st.items[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return st.getResident(it, now)
+}
+
+// getResident finishes a get on a mapped item: lazy expiry, then the
+// recency/priority bump in whichever structure owns the key.
+func (st *store) getResident(it *item, now time.Time) (*item, bool) {
+	if !it.expiresAt.IsZero() && now.After(it.expiresAt) {
+		st.delete(it.key)
+		st.expiredReclaimed++
+		return nil, false
 	}
 	if st.slab != nil {
-		if !ok {
-			return nil, false
-		}
-		st.classLRU[it.handle.Class()].Get(key)
+		st.classLRU[it.handle.Class()].Get(it.key)
 		return it, true
 	}
-	if !st.policy.Get(key) {
+	if !st.policy.Get(it.key) {
 		return nil, false
 	}
 	return it, true
+}
+
+// sweepExpired probes up to n items for passed TTLs and reclaims them,
+// counting each in expired_reclaimed. Go's randomized map iteration starts
+// every call at a fresh bucket, so the few probes each mutation pays walk
+// the whole table over time — the memcached/Redis-style incremental sweep
+// that stops expired-but-untouched items from pinning capacity (and
+// inflating curr_items/bytes) forever. Runs under the already-held shard
+// lock; n stays small so no single request stalls.
+func (st *store) sweepExpired(now time.Time, n int) {
+	for key, it := range st.items {
+		if n <= 0 {
+			return
+		}
+		n--
+		if !it.expiresAt.IsZero() && now.After(it.expiresAt) {
+			st.delete(key)
+			st.expiredReclaimed++
+		}
+	}
 }
 
 // expiryFrom converts a memcached relative TTL to an absolute deadline.
@@ -157,7 +210,7 @@ func (st *store) set(key string, value []byte, flags uint32, ttl, cost int64, no
 // setAbs is set with an absolute expiry, the form recovery needs: journals
 // record deadlines, not TTLs, so restarts do not extend item lifetimes.
 func (st *store) setAbs(key string, value []byte, flags uint32, expires time.Time, cost int64) bool {
-	it := &item{value: value, flags: flags, expiresAt: expires}
+	it := &item{key: key, value: value, flags: flags, expiresAt: expires}
 	size := st.itemSize(key, value)
 	switch {
 	case st.slab != nil:
@@ -310,12 +363,25 @@ func (st *store) peek(key string) (*item, cache.Entry, bool) {
 	if !ok {
 		return nil, cache.Entry{}, false
 	}
+	return st.peekResident(it)
+}
+
+// peekBytes is peek for a key in wire form (see getBytes).
+func (st *store) peekBytes(key []byte) (*item, cache.Entry, bool) {
+	it, ok := st.items[string(key)]
+	if !ok {
+		return nil, cache.Entry{}, false
+	}
+	return st.peekResident(it)
+}
+
+func (st *store) peekResident(it *item) (*item, cache.Entry, bool) {
 	if st.slab != nil {
-		e, _ := st.classLRU[it.handle.Class()].Peek(key)
-		e.Size = st.itemSize(key, it.value)
+		e, _ := st.classLRU[it.handle.Class()].Peek(it.key)
+		e.Size = st.itemSize(it.key, it.value)
 		return it, e, true
 	}
-	e, ok := st.policy.Peek(key)
+	e, ok := st.policy.Peek(it.key)
 	return it, e, ok
 }
 
@@ -325,7 +391,18 @@ func (st *store) flush() {
 		// The config was already validated at construction.
 		panic("kvserver: flush rebuild failed: " + err.Error())
 	}
+	// Lifetime counters survive the flush, as memcached's stats do. The
+	// policy object is being replaced, so its counts fold into the bases.
+	evicted, reclaimed := st.evicted, st.expiredReclaimed
+	evictedBase, rejectedBase := st.evictedBase, st.rejectedBase
+	if st.policy != nil {
+		stats := st.policy.Stats()
+		evictedBase += stats.Evictions
+		rejectedBase += stats.Rejected
+	}
 	*st = *fresh
+	st.evicted, st.expiredReclaimed = evicted, reclaimed
+	st.evictedBase, st.rejectedBase = evictedBase, rejectedBase
 }
 
 func (st *store) len() int { return len(st.items) }
@@ -345,7 +422,7 @@ func (st *store) used() int64 {
 
 func (st *store) evictions() uint64 {
 	if st.policy != nil {
-		return st.policy.Stats().Evictions
+		return st.evictedBase + st.policy.Stats().Evictions
 	}
 	return st.evicted
 }
@@ -364,14 +441,17 @@ func (st *store) queueCount() int {
 	return -1
 }
 
+// reclaimed returns how many expired items lazy expiry has removed.
+func (st *store) reclaimed() uint64 { return st.expiredReclaimed }
+
 // rejected returns how many Set calls the eviction policy refused, so
 // operators can watch admission pressure. Slab mode has no admission policy
 // of its own and reports 0.
 func (st *store) rejected() uint64 {
 	if st.policy != nil {
-		return st.policy.Stats().Rejected
+		return st.rejectedBase + st.policy.Stats().Rejected
 	}
-	return 0
+	return st.rejectedBase
 }
 
 // restore re-applies one recovered journal op through the configured

@@ -1,0 +1,190 @@
+// Package proto holds the low-level memcached-text-protocol helpers shared
+// by the server (internal/kvserver) and client (internal/kvclient) hot
+// paths: a zero-copy line reader, an in-place tokenizer, and integer parsers
+// that work directly on []byte. Everything hands out slices into reusable
+// buffers and allocates nothing on the steady state — the building blocks of
+// the zero-allocation request loop.
+//
+// Terminators are strict: a line ends with '\n' preceded by at most one
+// optional '\r'. Unlike a TrimRight("\r\n"), extra '\r' bytes are preserved
+// in the returned line, so "foo\r\r\n" yields "foo\r" — callers see the
+// malformation instead of silently accepting it.
+package proto
+
+import (
+	"bufio"
+	"errors"
+)
+
+// MaxLineBytes is the default cap a LineReader places on one protocol line.
+// Command lines are short (the longest realistic one is a wide multiget);
+// anything beyond this is a confused or malicious peer, and the reader
+// reports ErrLineTooLong rather than buffering without bound.
+const MaxLineBytes = 8192
+
+// ErrLineTooLong reports a protocol line exceeding the reader's limit.
+var ErrLineTooLong = errors.New("proto: line too long")
+
+// LineReader reads '\n'-terminated lines from a bufio.Reader without
+// allocating: lines that fit the bufio buffer are returned as slices into
+// it, and longer ones accumulate into a spill buffer that is reused across
+// calls.
+type LineReader struct {
+	r     *bufio.Reader
+	max   int
+	spill []byte
+}
+
+// NewLineReader wraps r with the default MaxLineBytes limit.
+func NewLineReader(r *bufio.Reader) *LineReader {
+	return &LineReader{r: r, max: MaxLineBytes}
+}
+
+// NewLineReaderSize wraps r with an explicit line-length limit (0 means
+// MaxLineBytes).
+func NewLineReaderSize(r *bufio.Reader, max int) *LineReader {
+	if max <= 0 {
+		max = MaxLineBytes
+	}
+	return &LineReader{r: r, max: max}
+}
+
+// Reset points the reader at a new source, keeping the spill buffer.
+func (lr *LineReader) Reset(r *bufio.Reader) { lr.r = r }
+
+// ReadLine returns the next line without its terminator. The final '\n' and
+// at most one '\r' immediately before it are stripped; any other '\r' bytes
+// stay in the line. The returned slice is valid only until the next read on
+// the underlying bufio.Reader (including the next ReadLine) and must not be
+// retained. io.EOF mid-line discards the partial line, as bufio.ReadString
+// would report it. An over-limit line is discarded through its '\n' —
+// constant memory, stream realigned on line framing — and reported as
+// ErrLineTooLong, so the caller can reply before deciding the connection's
+// fate.
+func (lr *LineReader) ReadLine() ([]byte, error) {
+	frag, err := lr.r.ReadSlice('\n')
+	if err == nil {
+		// Fast path: the whole line fit the bufio buffer.
+		if len(frag) > lr.max {
+			return nil, ErrLineTooLong
+		}
+		return trimTerminator(frag), nil
+	}
+	spill := lr.spill[:0]
+	for {
+		spill = append(spill, frag...)
+		if len(spill) > lr.max {
+			lr.spill = spill[:0]
+			return nil, lr.skipLine()
+		}
+		if err == nil {
+			lr.spill = spill[:0] // keep capacity for the next long line
+			return trimTerminator(spill), nil
+		}
+		if err != bufio.ErrBufferFull {
+			lr.spill = spill[:0]
+			return nil, err
+		}
+		frag, err = lr.r.ReadSlice('\n')
+	}
+}
+
+// skipLine discards input through the next '\n' and returns ErrLineTooLong,
+// or the read error that interrupted the discard.
+func (lr *LineReader) skipLine() error {
+	for {
+		_, err := lr.r.ReadSlice('\n')
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil:
+			return ErrLineTooLong
+		default:
+			return err
+		}
+	}
+}
+
+// trimTerminator strips the trailing '\n' and exactly one optional '\r'
+// before it. The input always ends in '\n'.
+func trimTerminator(b []byte) []byte {
+	b = b[:len(b)-1]
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// Tokenize splits line on runs of spaces into dst (reused; pass dst[:0] of a
+// per-connection scratch to avoid allocating). The tokens alias line. The
+// protocol separates fields with spaces only — tabs and stray '\r' bytes are
+// token content, so malformed input surfaces as unknown commands or
+// unparsable numbers rather than being silently accepted.
+func Tokenize(line []byte, dst [][]byte) [][]byte {
+	for i := 0; i < len(line); {
+		if line[i] == ' ' {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		dst = append(dst, line[i:j])
+		i = j
+	}
+	return dst
+}
+
+// ParseUint parses a base-10 unsigned integer from b, rejecting empty input,
+// signs, non-digits and overflow.
+func ParseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// ParseUint32 is ParseUint range-checked to 32 bits (protocol flags).
+func ParseUint32(b []byte) (uint32, bool) {
+	n, ok := ParseUint(b)
+	if !ok || n > 1<<32-1 {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// ParseInt parses a base-10 signed integer from b with an optional leading
+// '-', rejecting empty input, non-digits and overflow.
+func ParseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	n, ok := ParseUint(b)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int64(n), true
+	}
+	if n > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n), true
+}

@@ -1,0 +1,203 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func lines(t *testing.T, input string, bufSize int) ([]string, error) {
+	t.Helper()
+	lr := NewLineReader(bufio.NewReaderSize(strings.NewReader(input), bufSize))
+	var out []string
+	for {
+		line, err := lr.ReadLine()
+		if err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, string(line))
+	}
+}
+
+func TestReadLineTerminators(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"foo\r\n", []string{"foo"}},
+		{"foo\n", []string{"foo"}},
+		{"\r\n", []string{""}},
+		{"\n", []string{""}},
+		// Exactly one '\r' is stripped: extra ones are line content.
+		{"foo\r\r\n", []string{"foo\r"}},
+		{"foo\r\r\r\n", []string{"foo\r\r"}},
+		// Interior '\r' is preserved.
+		{"foo\rbar\n", []string{"foo\rbar"}},
+		{"a\r\nb\nc\r\n", []string{"a", "b", "c"}},
+	} {
+		got, err := lines(t, tc.in, 32)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q: lines = %q, want %q", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%q: line %d = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestReadLineSpillsPastBufferSize(t *testing.T) {
+	long := strings.Repeat("x", 200)
+	got, err := lines(t, long+"\r\nshort\r\n"+long+"\n", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{long, "short", long}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadLineTooLong(t *testing.T) {
+	// The over-limit line is discarded through its '\n', so the reader is
+	// realigned on the next line — in both the spill path (line larger than
+	// the bufio buffer) and the fast path (line fits the buffer).
+	for _, bufSize := range []int{16, 4096} {
+		in := strings.Repeat("x", 100) + "\nnext\r\n"
+		lr := NewLineReaderSize(bufio.NewReaderSize(strings.NewReader(in), bufSize), 50)
+		if _, err := lr.ReadLine(); err != ErrLineTooLong {
+			t.Fatalf("bufSize %d: err = %v, want ErrLineTooLong", bufSize, err)
+		}
+		line, err := lr.ReadLine()
+		if err != nil || string(line) != "next" {
+			t.Fatalf("bufSize %d: line after too-long = %q, %v, want \"next\"", bufSize, line, err)
+		}
+	}
+}
+
+func TestReadLineEOFMidLine(t *testing.T) {
+	lr := NewLineReader(bufio.NewReader(strings.NewReader("partial")))
+	if _, err := lr.ReadLine(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadLineZeroAlloc(t *testing.T) {
+	input := strings.Repeat("get some-key another-key\r\n", 64)
+	src := strings.NewReader(input)
+	r := bufio.NewReader(src)
+	lr := NewLineReader(r)
+	var toks [][]byte
+	allocs := testing.AllocsPerRun(20, func() {
+		src.Reset(input)
+		r.Reset(src)
+		for {
+			line, err := lr.ReadLine()
+			if err != nil {
+				break
+			}
+			toks = Tokenize(line, toks[:0])
+			if len(toks) != 3 {
+				t.Fatalf("tokens = %d", len(toks))
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("read+tokenize loop allocates %v/run, want 0", allocs)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"get k", []string{"get", "k"}},
+		{"  set   key  0 0  5 ", []string{"set", "key", "0", "0", "5"}},
+		// Tabs and '\r' are content, not separators.
+		{"get\tk", []string{"get\tk"}},
+		{"get k\r", []string{"get", "k\r"}},
+	} {
+		got := Tokenize([]byte(tc.in), nil)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q: tokens = %q, want %q", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], []byte(tc.want[i])) {
+				t.Fatalf("%q: token %d = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseUint(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"42", 42, true},
+		{"18446744073709551615", 1<<64 - 1, true},
+		{"18446744073709551616", 0, false}, // overflow
+		{"99999999999999999999", 0, false},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"+1", 0, false},
+		{"1x", 0, false},
+		{" 1", 0, false},
+	} {
+		got, ok := ParseUint([]byte(tc.in))
+		if ok != tc.ok || got != tc.want {
+			t.Fatalf("ParseUint(%q) = %d, %v; want %d, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"-0", 0, true},
+		{"123", 123, true},
+		{"-123", -123, true},
+		{"9223372036854775807", 1<<63 - 1, true},
+		{"9223372036854775808", 0, false},
+		{"-9223372036854775808", -1 << 63, true},
+		{"-9223372036854775809", 0, false},
+		{"", 0, false},
+		{"-", 0, false},
+		{"--1", 0, false},
+		{"12.5", 0, false},
+	} {
+		got, ok := ParseInt([]byte(tc.in))
+		if ok != tc.ok || got != tc.want {
+			t.Fatalf("ParseInt(%q) = %d, %v; want %d, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseUint32(t *testing.T) {
+	if v, ok := ParseUint32([]byte("4294967295")); !ok || v != 1<<32-1 {
+		t.Fatalf("ParseUint32(max) = %d, %v", v, ok)
+	}
+	if _, ok := ParseUint32([]byte("4294967296")); ok {
+		t.Fatal("ParseUint32 should reject 2^32")
+	}
+}
