@@ -34,8 +34,12 @@ test:
 race:
 	$(GO) test -race ./internal/kvserver/ .
 
-# Full race sweep, as CI runs it.
+# Full race sweep, as CI runs it: the replication failover/chaos tests get a
+# dedicated run first (fail fast on the concurrency-heavy surface), then the
+# full sweep — NOT -short, which would silently drop -race coverage for
+# every Short-skipped test, not just the replication ones.
 race-all:
+	$(GO) test -race -run 'TestRepl|TestFailover|TestDialWithReplica' ./internal/kvserver/
 	$(GO) test -race ./...
 
 # Benchmark the server throughput (the sharding tentpole) plus the policy
@@ -61,7 +65,11 @@ alloc-gate:
 	$(GO) run ./cmd/benchfmt -gate 'BenchmarkServerOps/shards=1' -max-allocs $(ALLOCS_BUDGET) .allocgate.tmp.txt > /dev/null
 	@rm -f .allocgate.tmp.txt
 
-# Short fuzz pass over the binary decoders.
+# Short fuzz pass over the binary decoders (journal records, the
+# replication stream, the sync handshake, trace files).
 fuzz:
 	$(GO) test ./internal/persist/ -fuzz FuzzDecodeRecord -fuzztime 30s
+	$(GO) test ./internal/persist/ -fuzz FuzzStreamFrames -fuzztime 30s
+	$(GO) test ./internal/kvserver/ -fuzz FuzzParseSyncReply -fuzztime 15s
+	$(GO) test ./internal/kvserver/ -fuzz FuzzParseSyncArgs -fuzztime 15s
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s

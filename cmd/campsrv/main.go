@@ -4,7 +4,7 @@
 // Usage:
 //
 //	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
-//	        [-shards N] [-precision 5] [-no-iq]
+//	        [-shards N] [-precision 5] [-no-iq] [-replica-of host:port]
 //	        [-data-dir /var/lib/campsrv [-aof=true] [-fsync everysec]
 //	         [-snapshot-interval 5m] [-aof-limit 64MiB]]
 //
@@ -58,6 +58,8 @@ func run() error {
 		precision = flag.Uint("precision", 5, "CAMP rounding precision (0 = infinite)")
 		noIQ      = flag.Bool("no-iq", false, "disable IQ miss-to-set cost derivation")
 
+		replicaOf = flag.String("replica-of", "", "start as a read-only replica of the primary at this address (shard counts must match; promote with the 'replica promote' command)")
+
 		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
 		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
 		fsync    = flag.String("fsync", persist.FsyncEverySec, "AOF sync policy: always, everysec or no")
@@ -81,6 +83,7 @@ func run() error {
 		Mode:        *mode,
 		Precision:   *precision,
 		DisableIQ:   *noIQ,
+		ReplicaOf:   *replicaOf,
 	}
 	if *dataDir != "" {
 		p := &kvserver.PersistConfig{
@@ -107,6 +110,9 @@ func run() error {
 	}
 	fmt.Printf("campsrv listening on %s (policy=%s mode=%s mem=%d bytes shards=%d)\n",
 		srv.Addr(), *policy, *mode, bytes, *shards)
+	if *replicaOf != "" {
+		fmt.Printf("campsrv: read-only replica of %s (promote with 'replica promote')\n", *replicaOf)
+	}
 	if *dataDir != "" {
 		fmt.Printf("campsrv: persistence in %s (aof=%v fsync=%s), recovered in %v\n",
 			*dataDir, *aof, *fsync, time.Since(start).Round(time.Millisecond))

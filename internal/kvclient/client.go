@@ -36,6 +36,11 @@ type Client struct {
 	tok [][]byte
 	key []byte
 	val []byte
+
+	// replica, when non-nil, is a second connection reads are routed to
+	// (see DialWithReplica). Writes and admin commands stay on the primary
+	// connection; ReplicaStatus/ReplicaPromote target the replica.
+	replica *Client
 }
 
 // ErrServer wraps SERVER_ERROR responses.
@@ -59,8 +64,39 @@ func Dial(addr string) (*Client, error) {
 	}, nil
 }
 
-// Close tears down the connection.
+// DialWithReplica connects to a primary and one of its replicas, returning a
+// client that serves reads (Get, MultiGet, MultiGetFunc) from the replica
+// while everything else — writes, stats, admin — goes to the primary. The
+// replication stream is asynchronous, so replica reads may briefly trail an
+// acknowledged write.
+func DialWithReplica(primaryAddr, replicaAddr string) (*Client, error) {
+	p, err := Dial(primaryAddr)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Dial(replicaAddr)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.replica = r
+	return p, nil
+}
+
+// readConn returns the connection reads and replica admin commands use: the
+// replica when one is attached, else this client itself.
+func (c *Client) readConn() *Client {
+	if c.replica != nil {
+		return c.replica
+	}
+	return c
+}
+
+// Close tears down the connection (and the replica connection, if any).
 func (c *Client) Close() error {
+	if c.replica != nil {
+		c.replica.Close()
+	}
 	c.w.WriteString("quit\r\n")
 	c.w.Flush()
 	return c.conn.Close()
@@ -102,6 +138,9 @@ func (c *Client) MultiGet(keys ...string) (map[string][]byte, error) {
 func (c *Client) MultiGetFunc(fn func(key, value []byte, flags uint32), keys ...string) error {
 	if len(keys) == 0 {
 		return errors.New("kvclient: MultiGet needs at least one key")
+	}
+	if c.replica != nil {
+		return c.replica.MultiGetFunc(fn, keys...)
 	}
 	cmd := append(c.cmd[:0], "get"...)
 	for _, k := range keys {
@@ -369,7 +408,12 @@ func (c *Client) Delete(key string) (bool, error) {
 
 // Stats fetches the server's STAT lines as a map.
 func (c *Client) Stats() (map[string]string, error) {
-	if _, err := c.w.WriteString("stats\r\n"); err != nil {
+	return c.statLines("stats\r\n")
+}
+
+// statLines sends one command and collects its STAT lines until END.
+func (c *Client) statLines(cmd string) (map[string]string, error) {
+	if _, err := c.w.WriteString(cmd); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
@@ -384,6 +428,9 @@ func (c *Client) Stats() (map[string]string, error) {
 		if string(line) == "END" {
 			return out, nil
 		}
+		if bytes.HasPrefix(line, clientErrorPrefix) || bytes.HasPrefix(line, serverErrorPrefix) {
+			return nil, fmt.Errorf("%w: %s", ErrServer, line)
+		}
 		c.tok = proto.Tokenize(line, c.tok[:0])
 		toks := c.tok
 		if len(toks) != 3 || string(toks[0]) != "STAT" {
@@ -391,6 +438,34 @@ func (c *Client) Stats() (map[string]string, error) {
 		}
 		out[string(toks[1])] = string(toks[2])
 	}
+}
+
+// ReplicaStatus fetches the replication state ("replica status" STAT lines:
+// role, primary address, per-shard positions) from the replica connection
+// when one is attached, else from the server this client talks to.
+func (c *Client) ReplicaStatus() (map[string]string, error) {
+	return c.readConn().statLines("replica status\r\n")
+}
+
+// ReplicaPromote promotes the replica (the replica connection when attached,
+// else the server this client talks to) to primary: replication stops and
+// the server starts accepting writes.
+func (c *Client) ReplicaPromote() error {
+	t := c.readConn()
+	if _, err := t.w.WriteString("replica promote\r\n"); err != nil {
+		return err
+	}
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	line, err := t.readLine()
+	if err != nil {
+		return err
+	}
+	if string(line) != "OK" {
+		return fmt.Errorf("%w: promote failed: %s", ErrServer, line)
+	}
+	return nil
 }
 
 // Debug returns the server-side metadata line for a key.

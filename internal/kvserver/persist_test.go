@@ -377,6 +377,41 @@ func TestArithPreservesExpiry(t *testing.T) {
 	wantExpiry(s2, "recovered")
 }
 
+// TestRejectedReSetJournalsDelete pins journal fidelity on admission
+// failure: a rejected re-set drops the live entry (the store tore it down to
+// make room), so the journal must record that removal — otherwise recovery
+// (and replicas) would resurrect the old value the client saw disappear.
+func TestRejectedReSetJournalsDelete(t *testing.T) {
+	dir := t.TempDir()
+	pcfg := func() *PersistConfig {
+		return &PersistConfig{Dir: dir, Fsync: persist.FsyncAlways, Logf: t.Logf}
+	}
+	cfg := Config{MemoryBytes: 8 << 10, Policy: "camp", DisableIQ: true, Persist: pcfg()}
+	s1 := startServer(t, cfg)
+	c := dial(t, s1)
+	if err := c.Set("victim", []byte("small"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The oversized rewrite is refused — and the old version is gone.
+	if err := c.Set("victim", make([]byte, 12<<10), 0, 0, 1); err == nil {
+		t.Fatal("an over-capacity re-set must be refused")
+	}
+	if _, ok, err := c.Get("victim"); err != nil || ok {
+		t.Fatalf("victim still live after rejected re-set: %v, %v", ok, err)
+	}
+	s1.Kill()
+
+	cfg.Persist = pcfg()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := captureState(s2); len(got) != 0 {
+		t.Fatalf("recovery resurrected %d items after a rejected re-set: %v", len(got), got)
+	}
+}
+
 // TestFlushAllPersists checks flush_all durably empties the store.
 func TestFlushAllPersists(t *testing.T) {
 	dir := t.TempDir()

@@ -27,6 +27,9 @@ type connState struct {
 	r  *bufio.Reader
 	w  *bufio.Writer
 	lr *proto.LineReader
+	// conn is the underlying connection, kept so long-lived handlers (the
+	// replication feed) can set write deadlines.
+	conn net.Conn
 
 	tokens [][]byte
 	hits   []*item
@@ -51,12 +54,14 @@ func getConnState(conn net.Conn) *connState {
 	cs := connStatePool.Get().(*connState)
 	cs.r.Reset(conn)
 	cs.w.Reset(conn)
+	cs.conn = conn
 	return cs
 }
 
 func putConnState(cs *connState) {
 	cs.r.Reset(nil)
 	cs.w.Reset(nil)
+	cs.conn = nil
 	// Drop item references so evicted values can be collected while the
 	// state sits in the pool.
 	hits := cs.hits[:cap(cs.hits)]

@@ -1,0 +1,770 @@
+// Per-shard AOF replication.
+//
+// The primary streams each shard's append-only journal to followers over the
+// same TCP port and text protocol the cache speaks, with a minimal
+// REPLCONF/SYNC-style handshake:
+//
+//	follower → primary:  replconf shards <n>\r\n
+//	primary → follower:  REPLOK <n>\r\n
+//	follower → primary:  sync <shard> <gen> <offset> <runid>\r\n
+//	primary → follower:  CONTINUE <gen> <offset> <runid>\r\n
+//	                  or FULLSYNC <snapgen> <snapbytes> <runid>\r\n +
+//	                     <snapbytes> of raw snapshot file, then the binary
+//	                     frame stream
+//
+// <runid> scopes a position to one journal run (one persist.Manager Open):
+// a primary restart may have truncated a torn tail, making old byte offsets
+// point into different data, so a position carrying a stale run ID is
+// answered with a full resync rather than silently diverging.
+//
+// "sync <shard> 0 0 0" always requests a full resync. After the reply the
+// connection becomes a one-way binary frame feed (internal/persist's
+// StreamWriter/StreamReader): journal records byte-identical to the
+// primary's segment files, generation switches when compaction retires a
+// segment, and pings while the journal is idle. Because the follower applies
+// the records through its own configured eviction policy — the same way
+// local recovery replays them — CAMP/GDS costs and queue placement
+// replicate, not just bytes, and a promoted follower serves with a warm,
+// cost-faithful cache.
+//
+// One replication goroutine runs per shard on the follower (the journals are
+// per-shard, so the streams are parallel by construction), each tracking its
+// own (generation, offset) position for cheap CONTINUE reconnects. Promotion
+// is explicit: "replica promote" stops the streams and lifts the read-only
+// gate.
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"camp/internal/persist"
+	"camp/internal/proto"
+)
+
+const (
+	// replTailPoll is how long the primary's feed waits for new journal
+	// records before emitting a keepalive ping; the follower's read timeout
+	// is a few multiples of it.
+	replTailPoll = time.Second
+	// replWriteTimeout is the primary feed's idle write timeout: each
+	// underlying socket write refreshes it (see idleConn), so a transfer of
+	// any size stays alive while bytes move, and a wedged follower stalls
+	// the feed (and pins journal segments) for at most this long.
+	replWriteTimeout = 30 * time.Second
+	// replDialTimeout bounds the follower's dial + handshake.
+	replDialTimeout = 5 * time.Second
+	// replReadTimeout is the follower's idle read timeout, refreshed per
+	// socket read; the primary pings every replTailPoll, so silence this
+	// long means a dead peer — while an arbitrarily large record or
+	// snapshot keeps streaming as long as chunks keep arriving.
+	replReadTimeout = 5 * time.Second
+	// replBackoffMin/Max bound the reconnect backoff.
+	replBackoffMin = 50 * time.Millisecond
+	replBackoffMax = 2 * time.Second
+	// replStaleMax is how many consecutive post-handshake stream failures
+	// without progress a follower tolerates before abandoning its position
+	// and requesting a full resync — self-healing for a position that parses
+	// but lands mid-record.
+	replStaleMax = 3
+)
+
+// idleConn turns absolute socket deadlines into idle timeouts: every Read
+// and Write refreshes the matching deadline first, so what bounds a
+// replication transfer is progress, not total size — a dead peer still
+// fails within the timeout, but a multi-gigabyte snapshot over a slow link
+// streams for as long as bytes keep moving. A zero timeout leaves that
+// direction unbounded.
+type idleConn struct {
+	net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if c.readTimeout > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	if c.writeTimeout > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// ---------------------------------------------------------------------------
+// Primary side: replconf / sync handlers.
+
+// handleReplconf validates a follower's topology announcement. Replication
+// streams are per-shard, so the shard counts must match exactly; and the
+// feed is the journal, so the primary must be journaling at all.
+func (s *Server) handleReplconf(args [][]byte, cs *connState) error {
+	if len(args) != 2 || string(args[0]) != "shards" {
+		_, err := cs.w.Write(replyBadReplconf)
+		return err
+	}
+	n, ok := proto.ParseUint(args[1])
+	if !ok {
+		_, err := cs.w.Write(replyBadReplconf)
+		return err
+	}
+	if s.cfg.Persist == nil || s.cfg.Persist.DisableAOF {
+		_, err := cs.w.Write(replyNoJournal)
+		return err
+	}
+	if int(n) != len(s.shards) {
+		cs.out = appendClientError(cs.out[:0], "shard count mismatch: primary has",
+			strconv.Itoa(len(s.shards)))
+		_, err := cs.w.Write(cs.out)
+		return err
+	}
+	out := append(cs.out[:0], "REPLOK "...)
+	out = strconv.AppendInt(out, int64(len(s.shards)), 10)
+	out = append(out, '\r', '\n')
+	cs.out = out
+	_, err := cs.w.Write(out)
+	return err
+}
+
+// parseSyncArgs parses "sync <shard> <gen> <offset> <runid>" arguments. gen
+// 0 with offset 0 requests a full resync; any other malformed shape
+// (negative offset, bad integers, shard out of range) is rejected.
+func parseSyncArgs(args [][]byte, shards int) (idx int, gen uint64, off int64, runID uint64, ok bool) {
+	if len(args) != 4 {
+		return 0, 0, 0, 0, false
+	}
+	i, okIdx := proto.ParseUint(args[0])
+	g, okGen := proto.ParseUint(args[1])
+	o, okOff := proto.ParseInt(args[2])
+	r, okRun := proto.ParseUint(args[3])
+	if !okIdx || !okGen || !okOff || !okRun || i >= uint64(shards) || o < 0 {
+		return 0, 0, 0, 0, false
+	}
+	if g == 0 && o != 0 {
+		return 0, 0, 0, 0, false
+	}
+	return int(i), g, o, r, true
+}
+
+// handleSync turns the connection into a replication feed for one shard. It
+// never returns to the command loop: the stream runs until the follower
+// disconnects, the server closes, or the journal errors, and the connection
+// closes with it.
+func (s *Server) handleSync(args [][]byte, cs *connState) error {
+	if s.readOnly.Load() {
+		// Chained replication is not supported: a replica's journal lags its
+		// own primary, so serving syncs from it would fan out staleness.
+		cs.w.Write(replyNotPrimary)
+		return errCloseConn
+	}
+	if s.cfg.Persist == nil || s.cfg.Persist.DisableAOF {
+		cs.w.Write(replyNoJournal)
+		return errCloseConn
+	}
+	idx, gen, off, runID, ok := parseSyncArgs(args, len(s.shards))
+	if !ok {
+		cs.w.Write(replyBadSync)
+		return errCloseConn
+	}
+	mgr := s.shards[idx].mgr
+	// All feed writes — reply line, snapshot bytes, frames — go through a
+	// deadline-refreshing wrapper: progress, not total transfer size, is
+	// what keeps the connection alive, and a wedged follower can stall the
+	// feed (and pin journal segments) for at most replWriteTimeout.
+	w := cs.w
+	if cs.conn != nil {
+		w = bufio.NewWriterSize(&idleConn{Conn: cs.conn, writeTimeout: replWriteTimeout}, connBufSize)
+	}
+	var (
+		tr       *persist.TailReader
+		announce bool
+	)
+	// A position from another journal run is meaningless here (a restart may
+	// have truncated the tail those offsets were measured against): force a
+	// full resync instead of continuing into silent divergence.
+	if gen > 0 && runID == mgr.RunID() {
+		t, err := mgr.TailFrom(gen, off)
+		switch {
+		case err == nil:
+			tr = t
+			out := append(cs.out[:0], "CONTINUE "...)
+			out = strconv.AppendUint(out, gen, 10)
+			out = append(out, ' ')
+			out = strconv.AppendInt(out, off, 10)
+			out = append(out, ' ')
+			out = strconv.AppendUint(out, mgr.RunID(), 10)
+			out = append(out, '\r', '\n')
+			cs.out = out
+			if _, werr := w.Write(out); werr != nil {
+				t.Close()
+				return werr
+			}
+		case !errors.Is(err, persist.ErrStalePosition):
+			s.logf("kvserver: sync shard %d: %v", idx, err)
+			cs.w.Write(replySyncFailed)
+			return errCloseConn
+		}
+		// A stale position falls through to a full resync, exactly as if the
+		// follower had asked for one.
+	}
+	if tr == nil {
+		fs, err := mgr.FullSync()
+		if err != nil {
+			s.logf("kvserver: full sync shard %d: %v", idx, err)
+			cs.w.Write(replySyncFailed)
+			return errCloseConn
+		}
+		out := append(cs.out[:0], "FULLSYNC "...)
+		out = strconv.AppendUint(out, fs.SnapGen, 10)
+		out = append(out, ' ')
+		out = strconv.AppendInt(out, fs.SnapSize, 10)
+		out = append(out, ' ')
+		out = strconv.AppendUint(out, mgr.RunID(), 10)
+		out = append(out, '\r', '\n')
+		cs.out = out
+		_, werr := w.Write(out)
+		if werr == nil && fs.Snapshot != nil {
+			_, werr = io.Copy(w, fs.Snapshot)
+		}
+		if werr != nil {
+			fs.Close()
+			return werr
+		}
+		if fs.Snapshot != nil {
+			fs.Snapshot.Close()
+		}
+		tr = fs.Tail
+		announce = true // the follower learns its start generation from the first frame
+		s.counters.replFullSyncsServed.Add(1)
+	}
+	defer tr.Close()
+	s.counters.replSyncsServed.Add(1)
+	s.replFeeds.Add(1)
+	defer s.replFeeds.Add(-1)
+	err := s.streamJournal(tr, w, announce)
+	if err != nil && !errors.Is(err, persist.ErrClosed) {
+		s.logf("kvserver: sync feed shard %d ended: %v", idx, err)
+	}
+	return errCloseConn
+}
+
+// streamJournal pumps tail events into the connection as stream frames,
+// flushing whenever the journal has nothing ready and pinging while it stays
+// idle. Returns when the write side fails (follower gone), the manager
+// closes, or the journal is corrupt.
+func (s *Server) streamJournal(tr *persist.TailReader, w *bufio.Writer, announce bool) error {
+	sw := persist.NewStreamWriter(w)
+	if announce {
+		if err := sw.GenSwitch(tr.Gen()); err != nil {
+			return err
+		}
+	}
+	for {
+		ev, err := tr.Next(0)
+		if errors.Is(err, persist.ErrTailTimeout) {
+			if ferr := sw.Flush(); ferr != nil {
+				return ferr
+			}
+			ev, err = tr.Next(replTailPoll)
+			if errors.Is(err, persist.ErrTailTimeout) {
+				if perr := sw.Ping(); perr != nil {
+					return perr
+				}
+				if ferr := sw.Flush(); ferr != nil {
+					return ferr
+				}
+				continue
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if ev.Record == nil {
+			err = sw.GenSwitch(ev.Gen)
+		} else {
+			err = sw.Record(ev.Record)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// handleReplica serves the replica admin commands: "replica promote" and
+// "replica status".
+func (s *Server) handleReplica(args [][]byte, cs *connState) error {
+	if len(args) != 1 {
+		_, err := cs.w.Write(replyBadReplica)
+		return err
+	}
+	switch string(args[0]) {
+	case "promote":
+		if err := s.Promote(); err != nil {
+			cs.out = appendClientError(cs.out[:0], err.Error())
+			_, werr := cs.w.Write(cs.out)
+			return werr
+		}
+		_, err := cs.w.Write(replyOK)
+		return err
+	case "status":
+		out := cs.out[:0]
+		role := "primary"
+		if s.readOnly.Load() {
+			role = "replica"
+		}
+		out = appendStatStr(out, "role", role)
+		if s.repl != nil {
+			out = appendStatStr(out, "primary_addr", s.repl.primary)
+			for _, sr := range s.repl.reps {
+				out = sr.appendStatus(out)
+			}
+		}
+		out = append(out, replyEnd...)
+		cs.out = out
+		_, err := cs.w.Write(out)
+		return err
+	default:
+		_, err := cs.w.Write(replyBadReplica)
+		return err
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Follower side.
+
+// Promote stops replication and lifts the read-only gate, making this server
+// the new primary. Applied ops are already in the local journal, so the
+// promoted server is durable from the first write. It is an error on a
+// server that is not (or no longer) a replica.
+func (s *Server) Promote() error {
+	if s.repl == nil {
+		return errors.New("not a replica")
+	}
+	s.repl.stopAll()
+	if !s.readOnly.CompareAndSwap(true, false) {
+		return errors.New("already promoted")
+	}
+	s.logf("kvserver: promoted to primary (was replicating %s)", s.repl.primary)
+	return nil
+}
+
+// replicaSession owns the follower's per-shard replication goroutines.
+type replicaSession struct {
+	s       *Server
+	primary string
+	reps    []*shardReplica
+
+	mu      sync.Mutex
+	stopped bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newReplicaSession(s *Server, primary string) *replicaSession {
+	rs := &replicaSession{s: s, primary: primary, stop: make(chan struct{})}
+	for i, sh := range s.shards {
+		rs.reps = append(rs.reps, &shardReplica{rs: rs, idx: i, sh: sh})
+	}
+	return rs
+}
+
+// start launches one replication goroutine per shard.
+func (rs *replicaSession) start() {
+	for _, sr := range rs.reps {
+		rs.wg.Add(1)
+		go func(sr *shardReplica) {
+			defer rs.wg.Done()
+			sr.run()
+		}(sr)
+	}
+}
+
+// stopAll terminates every stream and waits for the goroutines. Idempotent.
+func (rs *replicaSession) stopAll() {
+	rs.mu.Lock()
+	if rs.stopped {
+		rs.mu.Unlock()
+		rs.wg.Wait()
+		return
+	}
+	rs.stopped = true
+	close(rs.stop)
+	for _, sr := range rs.reps {
+		sr.closeConn()
+	}
+	rs.mu.Unlock()
+	rs.wg.Wait()
+}
+
+func (rs *replicaSession) isStopped() bool {
+	select {
+	case <-rs.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// shardReplica replicates one shard: it tracks the primary-side (generation,
+// offset) position, reconnecting with CONTINUE after a drop and falling back
+// to a full resync when the position goes stale.
+type shardReplica struct {
+	rs  *replicaSession
+	idx int
+	sh  *shard
+
+	mu         sync.Mutex
+	conn       net.Conn
+	connected  bool
+	gen        uint64
+	off        int64
+	runID      uint64 // journal-run identity the position is scoped to
+	fullSyncs  uint64
+	reconnects uint64
+	applied    uint64
+
+	// staleStreak is only touched by the run goroutine.
+	staleStreak int
+}
+
+func (sr *shardReplica) pos() (gen uint64, off int64, runID uint64) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.gen, sr.off, sr.runID
+}
+
+func (sr *shardReplica) setPos(gen uint64, off int64) {
+	sr.mu.Lock()
+	sr.gen, sr.off = gen, off
+	sr.mu.Unlock()
+}
+
+// commitSync installs a handshake result: the position and the run ID that
+// scopes it, atomically.
+func (sr *shardReplica) commitSync(gen uint64, off int64, runID uint64) {
+	sr.mu.Lock()
+	sr.gen, sr.off, sr.runID = gen, off, runID
+	sr.mu.Unlock()
+}
+
+func (sr *shardReplica) setConn(c net.Conn) bool {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.rs.isStopped() {
+		return false
+	}
+	sr.conn = c
+	return true
+}
+
+func (sr *shardReplica) closeConn() {
+	sr.mu.Lock()
+	if sr.conn != nil {
+		sr.conn.Close()
+	}
+	sr.connected = false
+	sr.mu.Unlock()
+}
+
+func (sr *shardReplica) setConnected(v bool) {
+	sr.mu.Lock()
+	sr.connected = v
+	sr.mu.Unlock()
+}
+
+// appendStatus renders this shard's replication state as STAT lines.
+func (sr *shardReplica) appendStatus(out []byte) []byte {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	prefix := "shard" + strconv.Itoa(sr.idx) + "_"
+	conn := uint64(0)
+	if sr.connected {
+		conn = 1
+	}
+	out = appendStat(out, prefix+"connected", conn)
+	out = appendStat(out, prefix+"gen", sr.gen)
+	out = appendStatInt(out, prefix+"offset", sr.off)
+	out = appendStat(out, prefix+"full_syncs", sr.fullSyncs)
+	out = appendStat(out, prefix+"reconnects", sr.reconnects)
+	out = appendStat(out, prefix+"applied_ops", sr.applied)
+	return out
+}
+
+// run is the shard's replication loop: connect, sync, apply until the stream
+// drops, back off, repeat — until the session stops (server close or
+// promotion).
+func (sr *shardReplica) run() {
+	backoff := replBackoffMin
+	for {
+		if sr.rs.isStopped() {
+			return
+		}
+		progressed, err := sr.syncOnce()
+		sr.setConnected(false)
+		if sr.rs.isStopped() {
+			return
+		}
+		if progressed {
+			backoff = replBackoffMin
+		}
+		if err != nil {
+			sr.rs.s.logf("kvserver: replica shard %d: %v", sr.idx, err)
+		}
+		sr.mu.Lock()
+		sr.reconnects++
+		sr.mu.Unlock()
+		t := time.NewTimer(backoff)
+		select {
+		case <-sr.rs.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > replBackoffMax {
+			backoff = replBackoffMax
+		}
+	}
+}
+
+// syncOnce runs one connection's lifetime: handshake, resync, then the frame
+// apply loop. progressed reports whether the handshake completed and at
+// least one frame applied (resetting backoff and the stale streak).
+func (sr *shardReplica) syncOnce() (progressed bool, err error) {
+	s := sr.rs.s
+	conn, err := net.DialTimeout("tcp", sr.rs.primary, replDialTimeout)
+	if err != nil {
+		return false, err
+	}
+	if !sr.setConn(conn) {
+		conn.Close()
+		return false, nil
+	}
+	defer sr.closeConn()
+	// Reads refresh their deadline per socket read: the primary pings every
+	// replTailPoll while idle, so silence means a dead peer, while a large
+	// record or snapshot streams for as long as chunks keep arriving.
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	br := bufio.NewReaderSize(&idleConn{Conn: conn, readTimeout: replReadTimeout}, connBufSize)
+	lr := proto.NewLineReader(br)
+
+	conn.SetWriteDeadline(time.Now().Add(replDialTimeout))
+	fmt.Fprintf(bw, "replconf shards %d\r\n", len(s.shards))
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	line, err := lr.ReadLine()
+	if err != nil {
+		return false, err
+	}
+	if want := fmt.Sprintf("REPLOK %d", len(s.shards)); string(line) != want {
+		return false, fmt.Errorf("handshake rejected: %q", line)
+	}
+
+	gen, off, runID := sr.pos()
+	if sr.staleStreak >= replStaleMax {
+		// The position keeps failing to stream; abandon it.
+		gen, off = 0, 0
+	}
+	fmt.Fprintf(bw, "sync %d %d %d %d\r\n", sr.idx, gen, off, runID)
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	line, err = lr.ReadLine()
+	if err != nil {
+		return false, err
+	}
+	reply, err := parseSyncReply(line)
+	if err != nil {
+		return false, err
+	}
+	// The run ID commits together with the position it scopes — never
+	// before. Committing it early would let a failed bootstrap leave the
+	// OLD (gen, off) paired with the NEW run's ID, and the next reconnect
+	// could then CONTINUE at offsets measured against a journal this run
+	// may have truncated differently: exactly the divergence the run ID
+	// exists to prevent.
+	switch reply.kind {
+	case syncContinue:
+		sr.commitSync(reply.gen, reply.off, reply.runID)
+	case syncFull:
+		if err := sr.bootstrap(br, reply.snapSize); err != nil {
+			return false, fmt.Errorf("bootstrap: %w", err)
+		}
+		// The start generation arrives as the stream's first frame.
+		sr.commitSync(0, 0, reply.runID)
+		sr.mu.Lock()
+		sr.fullSyncs++
+		sr.mu.Unlock()
+		sr.staleStreak = 0
+	}
+	sr.setConnected(true)
+
+	// Registered only now — after the handshake succeeded — so dial and
+	// handshake failures (a briefly unreachable primary) never count toward
+	// the streak: it measures positions that were accepted but failed to
+	// stream, nothing else.
+	frames := uint64(0)
+	defer func() {
+		if frames > 0 {
+			sr.staleStreak = 0
+		} else if err != nil {
+			sr.staleStreak++
+		}
+	}()
+	stream := persist.NewStreamReader(br)
+	for {
+		frame, err := stream.Next()
+		if err != nil {
+			return frames > 0, err
+		}
+		switch frame.Kind {
+		case persist.FrameRecord:
+			gen, _, _ := sr.pos()
+			if gen == 0 {
+				return frames > 0, errors.New("record frame before generation announcement")
+			}
+			sr.apply(frame.Op)
+			sr.mu.Lock()
+			sr.off += frame.Bytes
+			sr.applied++
+			sr.mu.Unlock()
+			frames++
+		case persist.FrameGen:
+			sr.setPos(frame.Gen, persist.SegmentHeaderLen)
+			frames++
+		case persist.FramePing:
+			// Liveness — and progress for the stale-position streak: pings
+			// mean the handshake accepted the position and the stream is
+			// healthy but idle. A truly mid-record position fails on the
+			// primary's first record read, before any ping, so counting
+			// pings never masks real staleness — while NOT counting them
+			// would let idle-period disconnects (a rolling primary restart)
+			// pile up the streak and force a pointless full resync.
+			frames++
+		}
+	}
+}
+
+// bootstrap applies a streamed full-sync snapshot into a staged store and
+// swaps it in atomically under the shard lock. Staging is what makes a torn
+// bootstrap safe: a disconnect — or a promotion racing the resync — mid-
+// snapshot leaves the shard's previous state untouched instead of flushed
+// and half-repopulated. Reads keep serving the old state until the swap; the
+// local journal records the flush and the staged entries only after the swap
+// commits, so the replica's own recovery can never see the torn middle
+// either.
+func (sr *shardReplica) bootstrap(r io.Reader, size int64) error {
+	sh := sr.sh
+	sh.mu.Lock()
+	cfg := sh.store.cfg
+	sh.mu.Unlock()
+	staged, err := newStore(cfg)
+	if err != nil {
+		return err
+	}
+	if size > 0 {
+		if _, err := persist.ReadSnapshot(io.LimitReader(r, size), staged.restore); err != nil {
+			return err
+		}
+	}
+	// One flush record plus every staged entry, journaled as a single batch:
+	// one write pass and at most one fsync, instead of a per-entry append
+	// (each an fsync under FsyncAlways) with the shard lock held.
+	batch := make([]persist.Op, 0, len(staged.items)+1)
+	batch = append(batch, persist.Op{Kind: persist.KindFlush})
+	batch = append(batch, staged.collectOps()...)
+	sh.mu.Lock()
+	// Lifetime counters survive the swap, exactly as store.flush keeps them
+	// across flush_all.
+	old := sh.store
+	staged.evicted += old.evicted
+	staged.expiredReclaimed += old.expiredReclaimed
+	staged.evictedBase += old.evictedBase
+	staged.rejectedBase += old.rejectedBase
+	if old.policy != nil {
+		stats := old.policy.Stats()
+		staged.evictedBase += stats.Evictions
+		staged.rejectedBase += stats.Rejected
+	}
+	sh.store = staged
+	sh.missedAt = make(map[string]time.Time)
+	sh.journalBatchLocked(batch)
+	sh.mu.Unlock()
+	return nil
+}
+
+// apply installs one replicated op: through the store's policy (so costs and
+// queue placement replicate) and into the local journal (so the replica's own
+// restarts and its post-promotion durability work unchanged).
+func (sr *shardReplica) apply(op persist.Op) {
+	sh := sr.sh
+	sh.mu.Lock()
+	sh.store.restore(op)
+	sh.journalLocked(op)
+	sh.mu.Unlock()
+	sr.rs.s.counters.replAppliedOps.Add(1)
+}
+
+// syncReply is the parsed primary response to a sync command.
+const (
+	syncContinue = 'C'
+	syncFull     = 'F'
+)
+
+type syncReply struct {
+	kind     byte
+	gen      uint64
+	off      int64
+	snapGen  uint64
+	snapSize int64
+	runID    uint64
+}
+
+// parseSyncReply parses "CONTINUE <gen> <offset> <runid>" or
+// "FULLSYNC <snapgen> <snapbytes> <runid>". Anything else — including
+// plausible replies with malformed offsets, a zero CONTINUE generation, or
+// a zero run ID — is an error; the decoder never panics on hostile input
+// (it is fuzzed alongside the frame decoder).
+func parseSyncReply(line []byte) (syncReply, error) {
+	var toks [5][]byte
+	fields := proto.Tokenize(line, toks[:0])
+	if len(fields) != 4 {
+		return syncReply{}, fmt.Errorf("malformed sync reply %q", line)
+	}
+	runID, okRun := proto.ParseUint(fields[3])
+	if !okRun || runID == 0 {
+		return syncReply{}, fmt.Errorf("malformed sync reply run id %q", line)
+	}
+	switch string(fields[0]) {
+	case "CONTINUE":
+		gen, okGen := proto.ParseUint(fields[1])
+		off, okOff := proto.ParseInt(fields[2])
+		if !okGen || gen == 0 || !okOff || off < persist.SegmentHeaderLen {
+			return syncReply{}, fmt.Errorf("malformed CONTINUE reply %q", line)
+		}
+		return syncReply{kind: syncContinue, gen: gen, off: off, runID: runID}, nil
+	case "FULLSYNC":
+		snapGen, okGen := proto.ParseUint(fields[1])
+		size, okSize := proto.ParseInt(fields[2])
+		if !okGen || !okSize || size < 0 || (snapGen == 0) != (size == 0) {
+			return syncReply{}, fmt.Errorf("malformed FULLSYNC reply %q", line)
+		}
+		return syncReply{kind: syncFull, snapGen: snapGen, snapSize: size, runID: runID}, nil
+	default:
+		return syncReply{}, fmt.Errorf("unexpected sync reply %q", line)
+	}
+}

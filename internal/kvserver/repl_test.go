@@ -1,0 +1,717 @@
+package kvserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"camp/internal/kvclient"
+	"camp/internal/persist"
+	"camp/internal/trace"
+)
+
+// rawDial opens a plain TCP connection to s for hand-rolled protocol lines.
+func rawDial(t *testing.T, s *Server) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// sendLine writes one command line and returns the first response line.
+func sendLine(t *testing.T, conn net.Conn, cmd string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(conn, "%s\r\n", cmd); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// startReplica boots a follower of p and registers cleanup.
+func startReplica(t *testing.T, p *Server, cfg Config) *Server {
+	t.Helper()
+	cfg.ReplicaOf = p.Addr()
+	return startServer(t, cfg)
+}
+
+// replCaughtUp reports whether every follower shard is connected and its
+// position matches the primary's live journal end.
+func replCaughtUp(primary, follower *Server) bool {
+	for i, sh := range primary.shards {
+		if sh.mgr == nil {
+			return false
+		}
+		info := sh.mgr.Info()
+		sr := follower.repl.reps[i]
+		sr.mu.Lock()
+		ok := sr.connected && sr.gen == info.Generation && sr.off == info.AOFSize
+		sr.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// waitCaughtUp polls until the follower has replicated the primary's entire
+// journal.
+func waitCaughtUp(t *testing.T, primary, follower *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !replCaughtUp(primary, follower) {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never caught up with the primary")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertStateEqual compares two captured server states key by key.
+func assertStateEqual(t *testing.T, want, got map[string]expectedItem) {
+	t.Helper()
+	if len(got) != len(want) {
+		var missing, extra []string
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				missing = append(missing, k)
+			}
+		}
+		for k := range got {
+			if _, ok := want[k]; !ok {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(missing)
+		sort.Strings(extra)
+		t.Fatalf("state size mismatch: got %d items, want %d (missing %v, extra %v)",
+			len(got), len(want), missing, extra)
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Fatalf("key %q missing", key)
+		}
+		if g != w {
+			t.Fatalf("key %q: got %+v, want %+v", key, g, w)
+		}
+	}
+}
+
+// totalEvictions sums policy evictions across a server's shards.
+func totalEvictions(s *Server) uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.store.evictions()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TestFailoverPromoteWarmReplica is the acceptance test: a 4-shard primary
+// serves a trace workload under eviction pressure, a follower bootstraps
+// mid-workload from snapshot + AOF, the primary is killed, and the promoted
+// follower must hold the exact state — value, flags, expiry, cost — and a
+// warm hit rate within 1% of the uninterrupted primary's.
+//
+// The snapshot is taken before eviction begins: a pre-churn snapshot has
+// uniform priority offsets and rebuilds the policy exactly (PR 2's snapshot
+// order fidelity), and from there the streamed op feed replays the eviction
+// churn deterministically — so the promoted follower's state is not just
+// warm but byte-exact. (A snapshot taken mid-churn re-derives cross-queue
+// offsets, the ROADMAP "exact snapshot priorities" residual.)
+func TestFailoverPromoteWarmReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover e2e is not a short-mode test")
+	}
+	mkCfg := func(dir string) Config {
+		return Config{
+			MemoryBytes: 128 << 10, // smaller than the full key population: phase 2 evicts
+			Shards:      4,
+			Policy:      "camp",
+			DisableIQ:   true,
+			Persist:     &PersistConfig{Dir: dir, Fsync: persist.FsyncNo, Logf: t.Logf},
+		}
+	}
+	p := startServer(t, mkCfg(t.TempDir()))
+	cp := dial(t, p)
+
+	genCfg := trace.Config{
+		Keys:     1200,
+		Requests: 4000,
+		Seed:     11,
+		Size:     trace.SizeUniform(60, 140),
+		Cost:     trace.CostChoice(1, 100, 10000),
+	}
+	g := trace.NewGenerator(genCfg)
+	send := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			req, ok := g.Next()
+			if !ok {
+				return
+			}
+			if err := cp.Set(req.Key, make([]byte, req.Size), 0, 0, req.Cost); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase 1 fits in memory, then a snapshot, then the follower attaches:
+	// its bootstrap is genuinely snapshot + AOF, with the eviction-heavy
+	// rest of the workload streaming live.
+	send(500)
+	if n := totalEvictions(p); n != 0 {
+		t.Fatalf("phase 1 evicted %d items; the snapshot must predate churn", n)
+	}
+	p.Snapshot()
+	f := startReplica(t, p, mkCfg(t.TempDir()))
+	send(3500)
+	if n := totalEvictions(p); n == 0 {
+		t.Fatal("phase 2 never evicted; the workload must churn")
+	}
+	waitCaughtUp(t, p, f)
+
+	if n := p.counters.replFullSyncsServed.Load(); n != 4 {
+		t.Fatalf("primary served %d full syncs, want one per shard (4)", n)
+	}
+	for i, sr := range f.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 1 {
+			t.Fatalf("shard %d bootstrapped %d times, want 1", i, fullSyncs)
+		}
+	}
+
+	measure := func(c *kvclient.Client) int {
+		hits := 0
+		mg := trace.NewGenerator(genCfg) // same seed: the identical reference stream
+		for {
+			req, ok := mg.Next()
+			if !ok {
+				return hits
+			}
+			if _, ok, err := c.Get(req.Key); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				hits++
+			}
+		}
+	}
+	hitsBefore := measure(cp)
+	if hitsBefore == 0 || hitsBefore == int(genCfg.Requests) {
+		t.Fatalf("degenerate warm run: %d/%d hits", hitsBefore, genCfg.Requests)
+	}
+	want := captureState(p)
+	if len(want) == 0 {
+		t.Fatal("workload produced no resident items")
+	}
+	p.Kill() // crash: the replica is now the only live copy
+
+	cf := dial(t, f)
+	if err := cf.Set("pre-promote", []byte("x"), 0, 0, 1); err == nil {
+		t.Fatal("a replica must reject writes before promotion")
+	} else if !errors.Is(err, kvclient.ErrServer) {
+		t.Fatalf("replica write rejection: %v", err)
+	}
+	if err := cf.ReplicaPromote(); err != nil {
+		t.Fatal(err)
+	}
+
+	assertStateEqual(t, want, captureState(f))
+	hitsAfter := measure(cf)
+	diff := hitsAfter - hitsBefore
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int(genCfg.Requests)/100 {
+		t.Fatalf("warm hit rate drifted past 1%% across failover: %d hits before, %d after (of %d gets)",
+			hitsBefore, hitsAfter, genCfg.Requests)
+	}
+	// The promoted follower is a primary: writes flow again.
+	if err := cf.Set("post-promote", []byte("x"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.ReplicaStatus(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplDisconnectReconnect drops every replication connection mid-segment
+// and verifies the follower resumes with a partial resync (CONTINUE) — one
+// full sync total, state converged.
+func TestReplDisconnectReconnect(t *testing.T) {
+	cfg := Config{
+		MemoryBytes: 4 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	p := startServer(t, cfg)
+	cp := dial(t, p)
+	// A memory-only replica: replication does not require a local journal.
+	f := startReplica(t, p, Config{MemoryBytes: 4 << 20, Shards: 2, Policy: "camp", DisableIQ: true})
+
+	for i := 0; i < 100; i++ {
+		if err := cp.Set(fmt.Sprintf("pre-%03d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, p, f)
+	for _, sr := range f.repl.reps {
+		sr.closeConn() // chaos: the stream dies mid-segment
+	}
+	for i := 0; i < 100; i++ {
+		if err := cp.Set(fmt.Sprintf("post-%03d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, p, f)
+	assertStateEqual(t, captureState(p), captureState(f))
+	for i, sr := range f.repl.reps {
+		sr.mu.Lock()
+		fullSyncs, reconnects := sr.fullSyncs, sr.reconnects
+		sr.mu.Unlock()
+		if fullSyncs != 1 {
+			t.Fatalf("shard %d: %d full syncs after a disconnect, want 1 (CONTINUE must resume)", i, fullSyncs)
+		}
+		if reconnects == 0 {
+			t.Fatalf("shard %d: stream never reconnected", i)
+		}
+	}
+}
+
+// TestReplCompactionGenerationSwitch keeps a follower attached while the
+// primary's journal compacts across generations: the stream must follow the
+// generation switches without ever falling back to a full resync.
+func TestReplCompactionGenerationSwitch(t *testing.T) {
+	cfg := Config{
+		MemoryBytes: 4 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist: &PersistConfig{
+			Dir:      t.TempDir(),
+			Fsync:    persist.FsyncNo,
+			AOFLimit: 4 << 10, // tiny: compactions fire mid-stream
+			Logf:     t.Logf,
+		},
+	}
+	p := startServer(t, cfg)
+	cp := dial(t, p)
+	f := startReplica(t, p, Config{MemoryBytes: 4 << 20, Shards: 2, Policy: "camp", DisableIQ: true})
+	waitCaughtUp(t, p, f)
+
+	val := make([]byte, 256)
+	for i := 0; i < 200; i++ {
+		if err := cp.Set(fmt.Sprintf("key-%03d", i), val, 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for totalCompactions(p) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("journal never compacted despite the tiny AOF limit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitCaughtUp(t, p, f)
+	assertStateEqual(t, captureState(p), captureState(f))
+	crossed := false
+	for i, sr := range f.repl.reps {
+		sr.mu.Lock()
+		gen, fullSyncs := sr.gen, sr.fullSyncs
+		sr.mu.Unlock()
+		if gen > 1 {
+			crossed = true
+		}
+		if fullSyncs != 1 {
+			t.Fatalf("shard %d: %d full syncs under compaction, want 1 (switches must stream)", i, fullSyncs)
+		}
+	}
+	if !crossed {
+		t.Fatal("no follower shard crossed a generation despite compactions")
+	}
+}
+
+// TestReplFollowerTornTailResync crashes a persisted follower, tears its
+// local journal tail, and restarts it: recovery must truncate the torn
+// record (pinning the Redis-style aof-load-truncated behavior on the
+// follower side) and the fresh session must full-resync back to equality —
+// including writes the primary took while the follower was down.
+func TestReplFollowerTornTailResync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torn-tail chaos test is not a short-mode test")
+	}
+	pCfg := Config{
+		MemoryBytes: 4 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	p := startServer(t, pCfg)
+	cp := dial(t, p)
+	fDir := t.TempDir()
+	fCfg := Config{
+		MemoryBytes: 4 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: fDir, Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	f := startReplica(t, p, fCfg)
+
+	for i := 0; i < 50; i++ {
+		if err := cp.Set(fmt.Sprintf("key-%02d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, p, f)
+	f.Kill()
+
+	// Tear the follower's journal: a record header promising 100 payload
+	// bytes, then only 5 — the shape a crash mid-write leaves.
+	shardDir := filepath.Join(fDir, shardDirName(0))
+	aofs, err := filepath.Glob(filepath.Join(shardDir, "aof-*.log"))
+	if err != nil || len(aofs) == 0 {
+		t.Fatalf("no follower journal found: %v (%v)", aofs, err)
+	}
+	aof, err := os.OpenFile(aofs[len(aofs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aof.Write([]byte{100, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	aof.Close()
+
+	// The primary moves on while the follower is down.
+	for i := 0; i < 20; i++ {
+		if err := cp.Set(fmt.Sprintf("late-%02d", i), []byte("w"), 0, 0, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f2 := startReplica(t, p, fCfg)
+	if f2.recovered.TruncatedBytes == 0 {
+		t.Fatal("follower recovery never truncated the torn tail")
+	}
+	waitCaughtUp(t, p, f2)
+	assertStateEqual(t, captureState(p), captureState(f2))
+	for i, sr := range f2.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 1 {
+			t.Fatalf("restarted shard %d: %d full syncs, want 1", i, fullSyncs)
+		}
+	}
+}
+
+// TestReplPrimaryRestartForcesResync pins the run-ID safeguard: replication
+// positions are scoped to one journal run, so a follower reconnecting to a
+// restarted primary must full-resync even though its (generation, offset)
+// still parses and points inside the journal — after a crash-restart the
+// tail may have been truncated, and continuing at old byte offsets would
+// silently diverge.
+func TestReplPrimaryRestartForcesResync(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(addr string) Config {
+		return Config{
+			Addr:        addr,
+			MemoryBytes: 4 << 20,
+			Policy:      "camp",
+			DisableIQ:   true,
+			Persist:     &PersistConfig{Dir: dir, Fsync: persist.FsyncNo, Logf: t.Logf},
+		}
+	}
+	p1 := startServer(t, mk(""))
+	cp1 := dial(t, p1)
+	for i := 0; i < 30; i++ {
+		if err := cp1.Set(fmt.Sprintf("first-%02d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := startReplica(t, p1, Config{MemoryBytes: 4 << 20, Policy: "camp", DisableIQ: true})
+	waitCaughtUp(t, p1, f)
+
+	addr := p1.Addr()
+	p1.Kill()
+	p2 := startServer(t, mk(addr)) // same port and data dir, new journal run
+	cp2 := dial(t, p2)
+	for i := 0; i < 10; i++ {
+		if err := cp2.Set(fmt.Sprintf("second-%02d", i), []byte("w"), 0, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, p2, f)
+	assertStateEqual(t, captureState(p2), captureState(f))
+	for i, sr := range f.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 2 {
+			t.Fatalf("shard %d: %d full syncs, want 2 (a stale run ID must force a resync, not CONTINUE)", i, fullSyncs)
+		}
+	}
+}
+
+// TestReplicaRejectsAllMutations pins the read-only gate across every
+// mutating verb — and that reads and stats still flow.
+func TestReplicaRejectsAllMutations(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	cp := dial(t, p)
+	if err := cp.Set("seed", []byte("42"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := startReplica(t, p, Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true})
+	waitCaughtUp(t, p, f)
+
+	cf := dial(t, f)
+	if v, ok, err := cf.Get("seed"); err != nil || !ok || string(v) != "42" {
+		t.Fatalf("replica read: %q, %v, %v", v, ok, err)
+	}
+	if err := cf.Set("w", []byte("x"), 0, 0, 1); err == nil {
+		t.Fatal("set accepted on a replica")
+	}
+	if _, err := cf.Add("w", []byte("x"), 0, 0, 1); err == nil {
+		t.Fatal("add accepted on a replica")
+	}
+	if _, _, err := cf.Incr("seed", 1); err == nil {
+		t.Fatal("incr accepted on a replica")
+	}
+	if _, err := cf.Touch("seed", 60); err == nil {
+		t.Fatal("touch accepted on a replica")
+	}
+	if _, err := cf.Delete("seed"); err == nil {
+		t.Fatal("delete accepted on a replica")
+	}
+	if err := cf.FlushAll(); err == nil {
+		t.Fatal("flush_all accepted on a replica")
+	}
+	stats, err := cf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["role"] != "replica" {
+		t.Fatalf("role = %q, want replica", stats["role"])
+	}
+	status, err := cf.ReplicaStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status["role"] != "replica" || status["shard0_connected"] != "1" {
+		t.Fatalf("replica status: %v", status)
+	}
+	// The replicated value kept its state after all those rejections.
+	if v, ok, err := cf.Get("seed"); err != nil || !ok || string(v) != "42" {
+		t.Fatalf("replica read after rejections: %q, %v, %v", v, ok, err)
+	}
+}
+
+// TestReplHandshakeRejections covers the handshake's refusal paths: shard
+// count mismatch, promote on a primary, sync against a journal-less server,
+// and sync from a replica (no chaining).
+func TestReplHandshakeRejections(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 1 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	send := func(s *Server, cmd string) string {
+		t.Helper()
+		conn := rawDial(t, s)
+		defer conn.Close()
+		return sendLine(t, conn, cmd)
+	}
+	if got := send(p, "replconf shards 3"); got != "CLIENT_ERROR shard count mismatch: primary has 2" {
+		t.Fatalf("shard mismatch reply: %q", got)
+	}
+	if got := send(p, "replconf shards 2"); got != "REPLOK 2" {
+		t.Fatalf("replconf reply: %q", got)
+	}
+	if got := send(p, "replica promote"); got != "CLIENT_ERROR not a replica" {
+		t.Fatalf("promote-on-primary reply: %q", got)
+	}
+	if got := send(p, "sync 5 0 0"); got != "CLIENT_ERROR bad sync command" {
+		t.Fatalf("out-of-range shard reply: %q", got)
+	}
+
+	volatile := startServer(t, Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true})
+	if got := send(volatile, "sync 0 0 0"); got != "CLIENT_ERROR primary is not journaling (persistence with AOF required)" {
+		t.Fatalf("journal-less sync reply: %q", got)
+	}
+
+	f := startReplica(t, p, Config{MemoryBytes: 1 << 20, Shards: 2, Policy: "camp", DisableIQ: true})
+	waitCaughtUp(t, p, f)
+	if got := send(f, "sync 0 0 0"); got != "CLIENT_ERROR replica cannot serve syncs (chained replication unsupported)" {
+		t.Fatalf("chained sync reply: %q", got)
+	}
+}
+
+// TestDialWithReplicaRoutesReads pins the client's read-from-replica option:
+// reads hit the replica, writes the primary, and the admin helpers target
+// the replica connection.
+func TestDialWithReplicaRoutesReads(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	f := startReplica(t, p, Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true})
+
+	c, err := kvclient.DialWithReplica(p.Addr(), f.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Set("routed", []byte("v"), 0, 0, 3); err != nil {
+		t.Fatal(err) // a write through the replica connection would be rejected
+	}
+	waitCaughtUp(t, p, f)
+	if v, ok, err := c.Get("routed"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("read-from-replica get: %q, %v, %v", v, ok, err)
+	}
+	if hits := f.counters.getHits.Load(); hits != 1 {
+		t.Fatalf("replica served %d hits, want 1 (reads must route to it)", hits)
+	}
+	if hits := p.counters.getHits.Load(); hits != 0 {
+		t.Fatalf("primary served %d hits, want 0", hits)
+	}
+	status, err := c.ReplicaStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status["role"] != "replica" {
+		t.Fatalf("ReplicaStatus targeted the wrong server: %v", status)
+	}
+}
+
+// TestReplicaRandomizedMixConverges replays the randomized mutation mix of
+// the crash-recovery acceptance test against a primary with a live follower:
+// after catch-up the follower must hold the identical state.
+func TestReplicaRandomizedMixConverges(t *testing.T) {
+	cfg := Config{
+		MemoryBytes: 8 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, AOFLimit: 8 << 10, Logf: t.Logf},
+	}
+	p := startServer(t, cfg)
+	c := dial(t, p)
+	f := startReplica(t, p, Config{MemoryBytes: 8 << 20, Shards: 2, Policy: "camp", DisableIQ: true})
+
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]string, 150)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	for i := 0; i < 1500; i++ {
+		key := keys[rng.Intn(len(keys))]
+		switch op := rng.Intn(10); {
+		case op < 6:
+			val := []byte(fmt.Sprintf("val-%d-%d", i, rng.Int63()))
+			ttl := int64(0)
+			if rng.Intn(3) == 0 {
+				ttl = int64(3600 + rng.Intn(3600))
+			}
+			if err := c.Set(key, val, uint32(rng.Intn(1<<16)), ttl, int64(1+rng.Intn(10000))); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8:
+			if _, err := c.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if _, err := c.Touch(key, int64(1800+rng.Intn(1800))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitCaughtUp(t, p, f)
+	want := captureState(p)
+	if len(want) == 0 {
+		t.Fatal("mix produced no resident items")
+	}
+	assertStateEqual(t, want, captureState(f))
+}
+
+// FuzzParseSyncReply hardens the follower side of the handshake: arbitrary
+// primary responses must parse or be rejected without panicking, and
+// accepted replies must satisfy the position invariants (no zero CONTINUE
+// generation, no offset inside the segment header, no negative snapshot
+// size, no snapshot bytes without a snapshot generation).
+func FuzzParseSyncReply(f *testing.F) {
+	f.Add([]byte("CONTINUE 3 1234 77"))
+	f.Add([]byte("FULLSYNC 2 9999 77"))
+	f.Add([]byte("FULLSYNC 0 0 1"))
+	f.Add([]byte("CONTINUE 0 12 1"))
+	f.Add([]byte("CONTINUE 1 -5 1"))
+	f.Add([]byte("CONTINUE 1 12 0"))
+	f.Add([]byte("FULLSYNC 1 0 9"))
+	f.Add([]byte("CLIENT_ERROR bad sync command"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		reply, err := parseSyncReply(line)
+		if err != nil {
+			return
+		}
+		if reply.runID == 0 {
+			t.Fatalf("accepted zero run id from %q", line)
+		}
+		switch reply.kind {
+		case syncContinue:
+			if reply.gen == 0 || reply.off < persist.SegmentHeaderLen {
+				t.Fatalf("accepted invalid CONTINUE %+v from %q", reply, line)
+			}
+		case syncFull:
+			if reply.snapSize < 0 || (reply.snapGen == 0) != (reply.snapSize == 0) {
+				t.Fatalf("accepted invalid FULLSYNC %+v from %q", reply, line)
+			}
+		default:
+			t.Fatalf("accepted unknown reply kind %q from %q", reply.kind, line)
+		}
+	})
+}
+
+// FuzzParseSyncArgs hardens the primary side: arbitrary sync arguments —
+// malformed offsets, generation skews, out-of-range shards — must be
+// rejected without panicking.
+func FuzzParseSyncArgs(f *testing.F) {
+	f.Add([]byte("0"), []byte("1"), []byte("12"), []byte("7"))
+	f.Add([]byte("3"), []byte("0"), []byte("0"), []byte("0"))
+	f.Add([]byte("0"), []byte("0"), []byte("7"), []byte("1"))
+	f.Add([]byte("x"), []byte("-1"), []byte("99999999999999999999"), []byte("?"))
+	f.Fuzz(func(t *testing.T, a, b, c, d []byte) {
+		idx, gen, off, _, ok := parseSyncArgs([][]byte{a, b, c, d}, 4)
+		if !ok {
+			return
+		}
+		if idx < 0 || idx >= 4 || off < 0 || (gen == 0 && off != 0) {
+			t.Fatalf("accepted invalid sync args %q %q %q %q -> %d %d %d", a, b, c, d, idx, gen, off)
+		}
+	})
+}

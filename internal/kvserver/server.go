@@ -46,6 +46,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"camp/internal/core"
@@ -102,6 +103,14 @@ type Config struct {
 	// journaled per shard to an append-only log and the store warm-restarts
 	// from each shard's newest snapshot plus journal tail, costs included.
 	Persist *PersistConfig
+	// ReplicaOf, when non-empty, starts the server as a read-only replica of
+	// the primary listening at this address: one replication goroutine per
+	// shard bootstraps from the primary's snapshot + journal and then tails
+	// its op stream live, applying every mutation through the configured
+	// eviction policy so costs and queue placement replicate too. The shard
+	// count must match the primary's. The replica serves reads (and rejects
+	// mutations) while replicating; "replica promote" makes it the primary.
+	ReplicaOf string
 }
 
 // PersistConfig configures the internal/persist subsystem for a Server.
@@ -140,6 +149,13 @@ type Server struct {
 
 	recovered persist.RecoverStats
 	rootLock  *persist.DirLock
+
+	// Replication: repl drives this server's own follower streams (nil on a
+	// primary); readOnly gates mutations while replicating; replFeeds counts
+	// the sync feeds this server is serving to its followers.
+	repl      *replicaSession
+	readOnly  atomic.Bool
+	replFeeds atomic.Int64
 
 	compactC chan *shard
 	stopBg   chan struct{}
@@ -217,6 +233,10 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.compactorLoop(p.SnapshotInterval)
 	}
+	if cfg.ReplicaOf != "" {
+		s.readOnly.Store(true)
+		s.repl = newReplicaSession(s, cfg.ReplicaOf)
+	}
 	return s, nil
 }
 
@@ -239,6 +259,9 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.repl != nil {
+		s.repl.start()
+	}
 	return nil
 }
 
@@ -358,6 +381,9 @@ func (s *Server) stopNetwork() (err error, wasOpen bool) {
 		c.Close()
 	}
 	s.connMu.Unlock()
+	if s.repl != nil {
+		s.repl.stopAll()
+	}
 	if s.stopBg != nil {
 		close(s.stopBg)
 	}
@@ -463,6 +489,9 @@ func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
 	case "stats":
 		return false, s.handleStats(cs)
 	case "flush_all":
+		if rejected, err := s.rejectReadOnly(cs, false); rejected || err != nil {
+			return false, err
+		}
 		s.handleFlushAll()
 		_, err := cs.w.Write(replyOK)
 		return false, err
@@ -471,12 +500,33 @@ func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
 		return false, err
 	case "debug":
 		return false, s.handleDebug(toks[1:], cs)
+	case "replconf":
+		return false, s.handleReplconf(toks[1:], cs)
+	case "sync":
+		return false, s.handleSync(toks[1:], cs)
+	case "replica":
+		return false, s.handleReplica(toks[1:], cs)
 	case "quit":
 		return true, nil
 	default:
 		_, err := cs.w.Write(replyError)
 		return false, err
 	}
+}
+
+// rejectReadOnly answers a mutating command on a replica: rejected reports
+// whether the caller must stop (the write was refused), and — as with every
+// error reply — noreply suppresses the SERVER_ERROR line. The one gate for
+// every mutating verb, so the noreply subtlety lives in one place.
+func (s *Server) rejectReadOnly(cs *connState, noreply bool) (rejected bool, err error) {
+	if !s.readOnly.Load() {
+		return false, nil
+	}
+	if noreply {
+		return true, nil
+	}
+	_, err = cs.w.Write(replyReadOnly)
+	return true, err
 }
 
 // handleFlushAll empties every shard. Each shard flushes atomically under
@@ -637,6 +687,12 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 		return errCloseConn
 	}
 
+	// The payload is consumed (stream aligned) before the replica gate, so a
+	// rejected write never desynchronizes the connection.
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
+		return err
+	}
+
 	now := time.Now()
 	s.counters.storeCounter(cmd).Add(1)
 	sh := s.shardFor(key)
@@ -749,6 +805,9 @@ func (s *Server) handleArith(incr bool, args [][]byte, cs *connState) error {
 		_, err := w.Write(replyBadDelta)
 		return err
 	}
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
+		return err
+	}
 	key := string(args[0])
 	now := time.Now()
 	if incr {
@@ -797,6 +856,9 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 		_, err := w.Write(replyBadExptime)
 		return err
 	}
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
+		return err
+	}
 	key := string(args[0])
 	now := time.Now()
 	s.counters.cmdTouch.Add(1)
@@ -835,6 +897,9 @@ func (s *Server) handleDelete(args [][]byte, cs *connState) error {
 			return nil
 		}
 		_, err := w.Write(replyBadDelete)
+		return err
+	}
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
 	key := string(args[0])
@@ -897,6 +962,23 @@ func (s *Server) handleStats(cs *connState) error {
 	out = appendStatStr(out, "policy", s.shards[0].store.policyName())
 	out = appendStatStr(out, "mode", s.cfg.Mode)
 	out = appendStatInt(out, "shards", int64(len(s.shards)))
+	role := "primary"
+	if s.readOnly.Load() {
+		role = "replica"
+	}
+	out = appendStatStr(out, "role", role)
+	if s.repl != nil {
+		connected := int64(0)
+		for _, sr := range s.repl.reps {
+			sr.mu.Lock()
+			if sr.connected {
+				connected++
+			}
+			sr.mu.Unlock()
+		}
+		out = appendStatInt(out, "repl_connected_shards", connected)
+		out = appendStat(out, "repl_applied_ops", s.counters.replAppliedOps.Load())
+	}
 	// Admission pressure: how many stores the eviction policy refused.
 	out = appendStat(out, "rejected_sets", rejected)
 	if queues >= 0 {
@@ -927,6 +1009,9 @@ func (s *Server) handleStats(cs *connState) error {
 		if aofEnabled {
 			aof = 1
 		}
+		out = appendStat(out, "repl_syncs_served", s.counters.replSyncsServed.Load())
+		out = appendStat(out, "repl_full_syncs_served", s.counters.replFullSyncsServed.Load())
+		out = appendStatInt(out, "repl_live_feeds", s.replFeeds.Load())
 		out = appendStat(out, "persist_gen", gen)
 		out = appendStat(out, "aof_enabled", aof)
 		out = appendStatInt(out, "aof_bytes", aofBytes)

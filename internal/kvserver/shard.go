@@ -33,6 +33,13 @@ var (
 	replyGetNoKey     = []byte("CLIENT_ERROR get requires a key\r\n")
 	replyLineTooLong  = []byte("CLIENT_ERROR line too long\r\n")
 	replyDebugNoKey   = []byte("CLIENT_ERROR debug requires a key\r\n")
+	replyReadOnly     = []byte("SERVER_ERROR replica is read-only\r\n")
+	replyBadReplconf  = []byte("CLIENT_ERROR bad replconf command\r\n")
+	replyBadSync      = []byte("CLIENT_ERROR bad sync command\r\n")
+	replyBadReplica   = []byte("CLIENT_ERROR bad replica command (want promote or status)\r\n")
+	replyNoJournal    = []byte("CLIENT_ERROR primary is not journaling (persistence with AOF required)\r\n")
+	replyNotPrimary   = []byte("CLIENT_ERROR replica cannot serve syncs (chained replication unsupported)\r\n")
+	replySyncFailed   = []byte("SERVER_ERROR sync failed\r\n")
 	crlf              = []byte("\r\n")
 )
 
@@ -214,6 +221,12 @@ func (sh *shard) storeLocked(cmd storeCmd, key string, value []byte, flags uint3
 	expires := expiryFrom(ttl, now)
 	if !sh.store.setAbs(key, value, flags, expires, cost) {
 		sh.srv.counters.setRejected.Add(1)
+		// A failed set drops any existing version of the key (the store
+		// already tore it down to make room); journal that removal, or
+		// recovery and replicas would resurrect the old value.
+		if exists {
+			sh.journalLocked(persist.Op{Kind: persist.KindDelete, Key: key})
+		}
 		return replyOOM
 	}
 	sh.journalLocked(persist.Op{
@@ -254,6 +267,9 @@ func (sh *shard) arithLocked(incr bool, key string, delta uint64, now time.Time)
 	// only the payload changes.
 	if !sh.store.setAbs(key, newVal, it.flags, it.expiresAt, cost) {
 		sh.srv.counters.setRejected.Add(1)
+		// The failed rewrite dropped the key (see storeLocked); keep the
+		// journal in step.
+		sh.journalLocked(persist.Op{Kind: persist.KindDelete, Key: key})
 		return 0, replyOOM
 	}
 	sh.journalLocked(persist.Op{
@@ -280,6 +296,23 @@ func (sh *shard) journalLocked(op persist.Op) {
 	if err := sh.mgr.Append(op); err != nil {
 		sh.srv.counters.persistErrors.Add(1)
 		sh.srv.logf("kvserver: journal: %v", err)
+		return
+	}
+	if sh.mgr.NeedsCompaction() {
+		sh.srv.requestCompact(sh)
+	}
+}
+
+// journalBatchLocked appends a group of mutations as one journal write (one
+// fsync under FsyncAlways) — the bulk form of journalLocked a replica's
+// bootstrap swap uses. The caller holds sh.mu.
+func (sh *shard) journalBatchLocked(ops []persist.Op) {
+	if sh.mgr == nil {
+		return
+	}
+	if err := sh.mgr.AppendBatch(ops); err != nil {
+		sh.srv.counters.persistErrors.Add(1)
+		sh.srv.logf("kvserver: journal batch: %v", err)
 		return
 	}
 	if sh.mgr.NeedsCompaction() {

@@ -12,6 +12,7 @@ type counters struct {
 	getHits, getMisses                                        atomic.Uint64
 	setRejected                                               atomic.Uint64
 	persistErrors, persistSnapshots                           atomic.Uint64
+	replSyncsServed, replFullSyncsServed, replAppliedOps      atomic.Uint64
 }
 
 // storeCounter maps a storage verb to its counter. Unknown verbs never

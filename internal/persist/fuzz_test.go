@@ -1,8 +1,10 @@
 package persist
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 )
 
@@ -45,6 +47,56 @@ func FuzzDecodeRecord(f *testing.F) {
 		// Round-trip: re-encoding must reproduce the accepted bytes.
 		if got := AppendRecord(nil, op); !bytes.Equal(got, data[:used]) {
 			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", got, data[:used])
+		}
+	})
+}
+
+// FuzzStreamFrames drives the replication stream decoder — the follower-side
+// companion to FuzzDecodeRecord — over arbitrary bytes: it must reject
+// malformed frames (bad kinds, oversized or corrupt records, zero
+// generation switches, torn tails) with a classified error, never a panic,
+// and every accepted record frame must carry a structurally valid op.
+func FuzzStreamFrames(f *testing.F) {
+	var valid bytes.Buffer
+	sw := NewStreamWriter(bufio.NewWriter(&valid))
+	sw.GenSwitch(1)
+	sw.Record(AppendRecord(nil, Op{Kind: KindSet, Key: "user:1", Value: []byte("payload"), Flags: 9, Size: 70, Cost: 1234}))
+	sw.Ping()
+	sw.Record(AppendRecord(nil, Op{Kind: KindDelete, Key: "gone"}))
+	sw.GenSwitch(7)
+	sw.Flush()
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-3])                           // torn mid-frame
+	f.Add([]byte{FrameGen, 0, 0, 0, 0, 0, 0, 0, 0})                // generation-switch to 0
+	f.Add([]byte{FrameRecord, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // huge record length
+	f.Add([]byte{'Z'})                                             // unknown kind
+	f.Add([]byte{FramePing, FramePing, FramePing})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr := NewStreamReader(bufio.NewReader(bytes.NewReader(data)))
+		for {
+			frame, err := sr.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					!errors.Is(err, ErrCorruptRecord) && !errors.Is(err, ErrShortRecord) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			switch frame.Kind {
+			case FramePing:
+			case FrameGen:
+				if frame.Gen == 0 {
+					t.Fatal("decoder accepted a generation-switch to 0")
+				}
+			case FrameRecord:
+				op := frame.Op
+				if frame.Bytes <= 0 || (op.Key == "") != (op.Kind == KindFlush) || op.Size < 0 || op.Cost < 0 {
+					t.Fatalf("decoder accepted invalid record frame %+v", frame)
+				}
+			default:
+				t.Fatalf("decoder returned unknown frame kind %q", frame.Kind)
+			}
 		}
 	})
 }

@@ -1,6 +1,8 @@
 package persist
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -90,6 +92,20 @@ type Manager struct {
 	compactions  uint64
 	appendErrors uint64
 
+	// notify is closed and replaced on every append, generation switch and
+	// close, waking blocked TailReaders; tailers holds the attached
+	// replication readers so GC retains the generations they still need.
+	notify  chan struct{}
+	tailers map[*TailReader]struct{}
+
+	// runID is a fresh random identity per Open. A replication position is
+	// only meaningful against the journal run that produced it: a restart
+	// may have truncated a torn tail, so byte offsets from the previous run
+	// can point into different data. Followers echo the run ID and the
+	// primary forces a full resync on mismatch (Redis's replication-ID
+	// safeguard).
+	runID uint64
+
 	lock *DirLock
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -125,7 +141,14 @@ func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
-	m := &Manager{opts: opts, lock: lock, stop: make(chan struct{})}
+	m := &Manager{
+		opts:    opts,
+		lock:    lock,
+		stop:    make(chan struct{}),
+		notify:  make(chan struct{}),
+		tailers: make(map[*TailReader]struct{}),
+		runID:   newRunID(),
+	}
 
 	gen, snapGen, stats, err := recoverDir(opts.Dir, opts.Logf, true, apply)
 	if err != nil {
@@ -305,6 +328,88 @@ func (m *Manager) Append(op Op) error {
 	} else {
 		m.dirty = true
 	}
+	m.broadcastLocked()
+	return nil
+}
+
+// broadcastLocked wakes every blocked TailReader: the journal grew, switched
+// generations, or closed. With no tailers attached it is a no-op — a waiter
+// can only hold m.notify after TailFrom registered it under this same mutex
+// — so servers without followers pay no per-append channel churn. The
+// caller holds m.mu.
+func (m *Manager) broadcastLocked() {
+	if len(m.tailers) == 0 {
+		return
+	}
+	close(m.notify)
+	m.notify = make(chan struct{})
+}
+
+// RunID identifies this journal run (this Open). Replication positions are
+// scoped to it: a follower holding offsets from a previous run must resync.
+func (m *Manager) RunID() uint64 { return m.runID }
+
+// newRunID draws a non-zero random run identity (zero is the follower's
+// "no position yet" sentinel).
+func newRunID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// batchChunk is the encode-buffer threshold AppendBatch writes at.
+const batchChunk = 256 << 10
+
+// AppendBatch journals ops as one group: records are encoded into a few
+// large writes and synced once under FsyncAlways, instead of a write (and
+// sync) per op. This is the bulk path a replica's bootstrap re-journaling
+// uses — per-record appends there would hold the caller's store lock across
+// one fsync per entry.
+func (m *Manager) AppendBatch(ops []Op) error {
+	if m.opts.DisableAOF || len(ops) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.aof == nil {
+		m.appendErrors++
+		return errors.New("persist: journal segment unavailable")
+	}
+	buf := m.buf[:0]
+	for i, op := range ops {
+		buf = AppendRecord(buf, op)
+		if len(buf) < batchChunk && i != len(ops)-1 {
+			continue
+		}
+		n, err := m.aof.Write(buf)
+		m.aofLen += int64(n)
+		if err != nil {
+			m.appendErrors++
+			return fmt.Errorf("persist: aof append: %w", err)
+		}
+		buf = buf[:0]
+	}
+	if cap(buf) <= batchChunk {
+		m.buf = buf[:0]
+	} else {
+		m.buf = nil // don't pin an outsized scratch past the batch
+	}
+	if m.opts.Fsync == FsyncAlways {
+		if err := m.aof.Sync(); err != nil {
+			m.appendErrors++
+			return fmt.Errorf("persist: aof sync: %w", err)
+		}
+	} else {
+		m.dirty = true
+	}
+	m.broadcastLocked()
 	return nil
 }
 
@@ -373,6 +478,7 @@ func (m *Manager) BeginCompact() (*Compaction, error) {
 	}
 	m.gen = newGen
 	m.compacting = true
+	m.broadcastLocked()
 	return &Compaction{m: m, gen: newGen}, nil
 }
 
@@ -419,6 +525,7 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
+	m.broadcastLocked()
 	m.mu.Unlock()
 	close(m.stop)
 	m.wg.Wait()
@@ -449,6 +556,7 @@ func (m *Manager) Kill() {
 		return
 	}
 	m.closed = true
+	m.broadcastLocked()
 	m.mu.Unlock()
 	close(m.stop)
 	m.wg.Wait()
@@ -599,7 +707,15 @@ func replayAOF(path string, last, truncate bool, logf func(format string, args .
 }
 
 // removeStaleLocked deletes snapshot and AOF files older than keepGen.
+// Attached replication tails lower the floor: a follower mid-stream keeps its
+// remaining segments alive so a compaction never forces it into a full
+// resync.
 func (m *Manager) removeStaleLocked(keepGen uint64) {
+	for tr := range m.tailers {
+		if tr.gen < keepGen {
+			keepGen = tr.gen
+		}
+	}
 	snaps, aofs, err := scanDir(m.opts.Dir)
 	if err != nil {
 		return

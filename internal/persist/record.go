@@ -126,6 +126,29 @@ func AppendRecord(dst []byte, op Op) []byte {
 	return dst
 }
 
+// CheckRecord verifies the framing and checksum of the record at the front
+// of b without decoding its payload, returning the record's total byte
+// length. The CRC guarantees the payload is byte-identical to what
+// AppendRecord produced, so forwarding paths (replication tails) can skip the
+// structural decode the receiver performs anyway.
+func CheckRecord(b []byte) (int, error) {
+	if len(b) < recordHeaderLen {
+		return 0, ErrShortRecord
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxPayload {
+		return 0, fmt.Errorf("%w: payload length %d", ErrCorruptRecord, n)
+	}
+	if len(b) < recordHeaderLen+int(n) {
+		return 0, ErrShortRecord
+	}
+	payload := b[recordHeaderLen : recordHeaderLen+int(n)]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorruptRecord, got, want)
+	}
+	return recordHeaderLen + int(n), nil
+}
+
 // DecodeRecord decodes one record from the front of b, returning the op and
 // the number of bytes consumed. It returns ErrShortRecord when b ends before
 // the record does (a torn tail) and ErrCorruptRecord when the checksum or

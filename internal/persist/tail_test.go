@@ -1,0 +1,259 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func setOp(key, val string) Op {
+	return Op{Kind: KindSet, Key: key, Value: []byte(val), Size: int64(len(key) + len(val)), Cost: 1}
+}
+
+// nextRecord drives Next until a record (not a generation switch) arrives.
+func nextRecord(t *testing.T, tr *TailReader, wait time.Duration) (Op, TailEvent) {
+	t.Helper()
+	for {
+		ev, err := tr.Next(wait)
+		if err != nil {
+			t.Fatalf("tail next: %v", err)
+		}
+		if ev.Record == nil {
+			continue
+		}
+		op, used, err := DecodeRecord(ev.Record)
+		if err != nil || used != len(ev.Record) {
+			t.Fatalf("tail produced undecodable record: %v (used %d of %d)", err, used, len(ev.Record))
+		}
+		return op, ev
+	}
+}
+
+func TestTailReaderFollowsAppends(t *testing.T) {
+	st := newMapStore()
+	m, _ := openTest(t, t.TempDir(), Options{Fsync: FsyncNo}, st)
+	defer m.Close()
+
+	tr, err := m.TailFrom(1, SegmentHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if _, err := tr.Next(0); !errors.Is(err, ErrTailTimeout) {
+		t.Fatalf("empty journal tail: %v, want ErrTailTimeout", err)
+	}
+	want := []Op{setOp("a", "1"), setOp("b", "2"), {Kind: KindDelete, Key: "a"}}
+	for _, op := range want {
+		if err := m.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		got, ev := nextRecord(t, tr, time.Second)
+		if got.Kind != w.Kind || got.Key != w.Key || !bytes.Equal(got.Value, w.Value) {
+			t.Fatalf("record %d: got %+v want %+v", i, got, w)
+		}
+		if ev.Gen != 1 {
+			t.Fatalf("record %d in generation %d, want 1", i, ev.Gen)
+		}
+	}
+	// A blocked tail wakes on the next append.
+	done := make(chan Op, 1)
+	go func() {
+		op, _ := nextRecord(t, tr, 5*time.Second)
+		done <- op
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Append(setOp("late", "x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case op := <-done:
+		if op.Key != "late" {
+			t.Fatalf("woken tail read %q, want late", op.Key)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tail never woke on append")
+	}
+}
+
+func TestTailReaderCrossesGenerations(t *testing.T) {
+	st := newMapStore()
+	m, _ := openTest(t, t.TempDir(), Options{Fsync: FsyncNo}, st)
+	defer m.Close()
+
+	for _, op := range []Op{setOp("a", "1"), setOp("b", "2")} {
+		st.apply(op)
+		if err := m.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := m.TailFrom(1, SegmentHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	nextRecord(t, tr, time.Second)
+	nextRecord(t, tr, time.Second)
+
+	if err := m.Compact(st.emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(setOp("c", "3")); err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := tr.Next(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Record != nil || ev.Gen != 2 || ev.Off != SegmentHeaderLen {
+		t.Fatalf("expected switch to generation 2, got %+v", ev)
+	}
+	op, ev := nextRecord(t, tr, time.Second)
+	if op.Key != "c" || ev.Gen != 2 {
+		t.Fatalf("post-switch record: %+v in gen %d", op, ev.Gen)
+	}
+	// The reader's position round-trips through TailFrom (a reconnect).
+	tr2, err := m.TailFrom(ev.Gen, ev.Off)
+	if err != nil {
+		t.Fatalf("resume at %d/%d: %v", ev.Gen, ev.Off, err)
+	}
+	tr2.Close()
+}
+
+func TestTailRetentionAcrossCompaction(t *testing.T) {
+	st := newMapStore()
+	dir := t.TempDir()
+	m, _ := openTest(t, dir, Options{Fsync: FsyncNo}, st)
+	defer m.Close()
+
+	op := setOp("k", "v")
+	st.apply(op)
+	if err := m.Append(op); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.TailFrom(1, SegmentHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two compactions would normally GC generation 1; the attached tail
+	// must hold it.
+	for i := 0; i < 2; i++ {
+		if err := m.Compact(st.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, aofName(1))); err != nil {
+		t.Fatalf("generation 1 GC'd under an attached tail: %v", err)
+	}
+	tr.Close()
+	if err := m.Compact(st.emit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, aofName(1))); !os.IsNotExist(err) {
+		t.Fatalf("generation 1 survived after the tail detached: %v", err)
+	}
+}
+
+func TestTailFromRejectsBadPositions(t *testing.T) {
+	st := newMapStore()
+	m, _ := openTest(t, t.TempDir(), Options{Fsync: FsyncNo}, st)
+	defer m.Close()
+	if err := m.Append(setOp("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		gen  uint64
+		off  int64
+	}{
+		{"zero generation", 0, 0},
+		{"future generation", 9, SegmentHeaderLen},
+		{"offset before header", 1, 3},
+		{"offset past end", 1, 1 << 20},
+	} {
+		if _, err := m.TailFrom(tc.gen, tc.off); !errors.Is(err, ErrStalePosition) {
+			t.Fatalf("%s: got %v, want ErrStalePosition", tc.name, err)
+		}
+	}
+	// GC'd generation: compact twice so generation 1 is removed, then ask
+	// for it.
+	st.apply(setOp("k", "v"))
+	for i := 0; i < 2; i++ {
+		if err := m.Compact(st.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.TailFrom(1, SegmentHeaderLen); !errors.Is(err, ErrStalePosition) {
+		t.Fatalf("GC'd generation: got %v, want ErrStalePosition", err)
+	}
+}
+
+// TestFullSyncMatchesRecovery proves the bootstrap contract: applying the
+// FullSync snapshot plus the tailed records reproduces exactly what local
+// recovery of the same directory would.
+func TestFullSyncMatchesRecovery(t *testing.T) {
+	st := newMapStore()
+	dir := t.TempDir()
+	m, _ := openTest(t, dir, Options{Fsync: FsyncNo}, st)
+	defer m.Close()
+
+	journal := func(op Op) {
+		st.apply(op)
+		if err := m.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journal(setOp("a", "1"))
+	journal(setOp("b", "2"))
+	if err := m.Compact(st.emit); err != nil {
+		t.Fatal(err)
+	}
+	journal(setOp("c", "3"))
+	journal(Op{Kind: KindDelete, Key: "a"})
+
+	fs, err := m.FullSync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.SnapGen != 2 || fs.Snapshot == nil || fs.SnapSize <= 0 {
+		t.Fatalf("full sync source: %+v", fs)
+	}
+	got := newMapStore()
+	if _, err := ReadSnapshot(bufio.NewReader(fs.Snapshot), got.apply); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err := fs.Tail.Next(0)
+		if errors.Is(err, ErrTailTimeout) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Record == nil {
+			continue
+		}
+		op, _, err := DecodeRecord(ev.Record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.apply(op)
+	}
+	if len(got.m) != len(st.m) {
+		t.Fatalf("bootstrap produced %d keys, recovery state has %d", len(got.m), len(st.m))
+	}
+	for k, w := range st.m {
+		g, ok := got.m[k]
+		if !ok || !bytes.Equal(g.Value, w.Value) {
+			t.Fatalf("key %q: bootstrap %+v, want %+v", k, g, w)
+		}
+	}
+}
