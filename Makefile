@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
 
 # The checked-in allocs/op budget for the protocol hot path. The PR 2
 # baseline was 161 allocs per 20-op batch; the zero-allocation protocol
@@ -14,7 +14,7 @@ ALLOCS_BUDGET ?= 48
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: verify fmt vet build test race race-all fuzz bench alloc-gate
+.PHONY: verify fmt vet build test race race-all fuzz fuzz-smoke bench alloc-gate
 
 verify: fmt vet build test race
 
@@ -34,12 +34,14 @@ test:
 race:
 	$(GO) test -race ./internal/kvserver/ .
 
-# Full race sweep, as CI runs it: the replication failover/chaos tests get a
-# dedicated run first (fail fast on the concurrency-heavy surface), then the
-# full sweep — NOT -short, which would silently drop -race coverage for
+# Full race sweep, as CI runs it: the replication/persistence chaos tests
+# get a dedicated run first (fail fast on the concurrency-heavy surface —
+# failover, replica restarts, durable positions, snapshot fidelity), then
+# the full sweep — NOT -short, which would silently drop -race coverage for
 # every Short-skipped test, not just the replication ones.
 race-all:
-	$(GO) test -race -run 'TestRepl|TestFailover|TestDialWithReplica' ./internal/kvserver/
+	$(GO) test -race -run 'TestRepl|TestFailover|TestDialWithReplica|TestSnapshotOrderFidelity|TestCrashRecovery' ./internal/kvserver/
+	$(GO) test -race -run 'TestGolden|TestV1Reader|TestWritersAlways|TestJournalCarries' ./internal/persist/
 	$(GO) test -race ./...
 
 # Benchmark the server throughput (the sharding tentpole) plus the policy
@@ -65,11 +67,23 @@ alloc-gate:
 	$(GO) run ./cmd/benchfmt -gate 'BenchmarkServerOps/shards=1' -max-allocs $(ALLOCS_BUDGET) .allocgate.tmp.txt > /dev/null
 	@rm -f .allocgate.tmp.txt
 
-# Short fuzz pass over the binary decoders (journal records, the
-# replication stream, the sync handshake, trace files).
+# Short fuzz pass over the binary decoders (journal records, the v2
+# snapshot reader, position records, the replication stream, the sync
+# handshake, trace files).
 fuzz:
 	$(GO) test ./internal/persist/ -fuzz FuzzDecodeRecord -fuzztime 30s
+	$(GO) test ./internal/persist/ -fuzz FuzzDecodeSnapshotV2 -fuzztime 30s
+	$(GO) test ./internal/persist/ -fuzz FuzzDecodePositionRecord -fuzztime 30s
 	$(GO) test ./internal/persist/ -fuzz FuzzStreamFrames -fuzztime 30s
 	$(GO) test ./internal/kvserver/ -fuzz FuzzParseSyncReply -fuzztime 15s
 	$(GO) test ./internal/kvserver/ -fuzz FuzzParseSyncArgs -fuzztime 15s
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s
+
+# CI smoke fuzz: a few seconds per persistence-format decoder on every PR,
+# so the corpus actually executes (seed-only runs never explore) without
+# holding the pipeline hostage. The full half-minute-per-target pass stays
+# in `make fuzz` for local soak runs.
+fuzz-smoke:
+	$(GO) test ./internal/persist/ -fuzz FuzzDecodeSnapshotV2 -fuzztime 10s
+	$(GO) test ./internal/persist/ -fuzz FuzzDecodePositionRecord -fuzztime 10s
+	$(GO) test ./internal/persist/ -fuzz FuzzDecodeRecord -fuzztime 10s

@@ -17,6 +17,13 @@
 //	c.Set("user:42", profileBytes, lookupMicros /* cost */)
 //	if v, ok := c.Get("user:42"); ok { ... }
 //
+// Caches snapshot and warm-start exactly: WriteSnapshot/SaveSnapshot emit
+// every entry in eviction order with its exact priority state (snapshot
+// format v2), so a cache restored with WithSnapshotFile or LoadSnapshot
+// reproduces the saved eviction schedule byte-for-byte — costs, cross-queue
+// priority offsets and CAMP's learned ratio scale included — even when the
+// snapshot was taken in the middle of eviction churn.
+//
 // For simulation or embedding into an existing store, the metadata-only
 // Policy constructors (NewCAMPPolicy, NewLRUPolicy, NewGDSPolicy,
 // NewPooledLRUPolicy) expose the eviction algorithms directly; these are not

@@ -118,14 +118,62 @@ type HeapVisitor interface {
 // without mutating any state. Snapshots written in this order rebuild the
 // policy's internal queues in their original order on a warm start, where a
 // map-order snapshot scrambled them. For the priority policies (CAMP, GDS)
-// the restored schedule is exact when the live offsets are uniform (no
-// evictions had raised L); after churn, within-queue recency is still exact
-// but cross-queue offsets collapse to the re-derived priorities — a far
-// smaller error than random order, not zero. Journal replay remains exact.
+// order alone makes the restored schedule exact only while the live offsets
+// are uniform (no evictions had raised L); restoring the offsets themselves
+// is PriorityOrdered's job, and makes mid-churn snapshots exact too.
 type EvictionOrdered interface {
 	// VisitEvictionOrder calls visit for each resident entry in eviction
 	// order, stopping early if visit returns false.
 	VisitEvictionOrder(visit func(Entry) bool)
+}
+
+// PriorityOrdered extends EvictionOrdered for policies whose eviction
+// schedule depends on per-entry priority state beyond recency (CAMP and
+// GDS): visitation additionally exposes each entry's priority offset — its
+// priority H minus the policy's global offset L — and its priority class —
+// CAMP's rounded integer cost-to-size ratio, i.e. the queue the entry lives
+// in — both encoded as opaque uint64s the same policy knows how to decode.
+// SetWithPriority re-inserts an entry pinned to exactly that (offset,
+// class). A snapshot that records both and is replayed in visitation order
+// reproduces the live cross-queue eviction schedule exactly, even
+// mid-churn, where re-deriving priorities from costs only restores
+// within-queue order.
+//
+// The class must be pinned, not re-derived, because CAMP's ratio
+// integerization is adaptive (rounding.Converter learns its scale from the
+// sizes it has seen): a fresh policy re-deriving classes mid-restore would
+// assign entries to different queues than the live cache did. Offsets are
+// relative to L so they survive the restore into a fresh policy (where L
+// restarts at zero) and stay meaningful after later churn raises it. An
+// offset that would violate the policy's invariants (decoded from a corrupt
+// or foreign snapshot) is clamped to the nearest valid priority rather than
+// trusted.
+type PriorityOrdered interface {
+	EvictionOrdered
+	// VisitEvictionPriority is VisitEvictionOrder with each entry's
+	// encoded priority offset and class.
+	VisitEvictionPriority(visit func(e Entry, prio, class uint64) bool)
+	// SetWithPriority inserts key like Set but pins its priority to
+	// L + the decoded offset, in the given class, instead of deriving
+	// both from cost alone. Callers replaying a snapshot must insert in
+	// visitation order.
+	SetWithPriority(key string, size, cost int64, prio, class uint64) bool
+}
+
+// PriorityScaled is implemented by priority policies whose priority
+// derivation carries adaptive scalar state beyond the per-entry offsets:
+// CAMP's ratio integerizer learns its scale (the largest size ever seen)
+// from the whole workload, including entries long since evicted. Snapshots
+// persist the scale so a restored policy buckets future inserts exactly as
+// the live one would have, instead of re-learning the scale from the
+// resident working set alone.
+type PriorityScaled interface {
+	// PriorityScale returns the opaque adaptive scale word.
+	PriorityScale() uint64
+	// RestorePriorityScale re-installs a saved scale word. It only ever
+	// widens the scale (the live scale is monotonic), so replaying it is
+	// idempotent and safe in any order relative to the entries.
+	RestorePriorityScale(scale uint64)
 }
 
 // QueueCounter is implemented by policies organized as multiple queues

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"camp/internal/cache"
 	"camp/internal/ilist"
@@ -75,6 +76,8 @@ func (q *campQueue) head() *campEntry { return q.list.Front().Value }
 var _ cache.Policy = (*Camp)(nil)
 var _ cache.HeapVisitor = (*Camp)(nil)
 var _ cache.QueueCounter = (*Camp)(nil)
+var _ cache.PriorityOrdered = (*Camp)(nil)
+var _ cache.PriorityScaled = (*Camp)(nil)
 
 // Option configures a Camp policy.
 type Option func(*Camp)
@@ -380,6 +383,23 @@ func (c *Camp) bucketFor(cost, size int64) uint64 {
 	return rounding.Round(c.conv.IntRatio(cost, size), c.precision)
 }
 
+// PriorityScale implements cache.PriorityScaled: the ratio integerizer's
+// adaptive scale (the largest size observed), which decides how fractional
+// cost-to-size ratios map to integer queue ids. It is learned from the
+// whole history — including evicted entries — so a snapshot must carry it
+// for a restored policy to bucket future Sets exactly as the live one.
+func (c *Camp) PriorityScale() uint64 { return uint64(c.conv.MaxSize()) }
+
+// RestorePriorityScale implements cache.PriorityScaled. The scale only ever
+// widens (Observe keeps the max), so corrupt small values are harmless and
+// replay order does not matter.
+func (c *Camp) RestorePriorityScale(scale uint64) {
+	if scale > math.MaxInt64 {
+		scale = math.MaxInt64
+	}
+	c.conv.Observe(int64(scale))
+}
+
 // newPriority computes H = L + bucket with saturating arithmetic. Reaching
 // the saturation point requires ~2^63 accumulated priority, unreachable for
 // realistic traces; if it ever happens, saturated items tie on H and fall
@@ -427,6 +447,27 @@ func (c *Camp) addQueue(bucket uint64) *campQueue {
 // the same comparison the queue-head heap uses — reproduces the exact
 // sequence EvictOne would emit, without mutating anything.
 func (c *Camp) VisitEvictionOrder(visit func(cache.Entry) bool) {
+	c.visitOrder(func(e *campEntry) bool {
+		return visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost})
+	})
+}
+
+// VisitEvictionPriority implements cache.PriorityOrdered: the same merge,
+// with each entry's priority offset H − L and its queue id (the rounded
+// integer ratio). The offset is what a snapshot must persist for a warm
+// start to restore the cross-queue schedule exactly: after eviction churn
+// different entries sit at different H − L (older entries were priced
+// against a smaller L), which re-deriving H from the cost alone collapses.
+// The queue id rides along because it cannot be re-derived either — the
+// ratio integerizer's scale is adaptive, so a fresh policy would bucket the
+// same (cost, size) differently until it re-learns the workload.
+func (c *Camp) VisitEvictionPriority(visit func(e cache.Entry, prio, class uint64) bool) {
+	c.visitOrder(func(e *campEntry) bool {
+		return visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}, e.h-c.l, e.bucket)
+	})
+}
+
+func (c *Camp) visitOrder(visit func(*campEntry) bool) {
 	less := func(a, b *ilist.Node[*campEntry]) bool {
 		if a.Value.h != b.Value.h {
 			return a.Value.h < b.Value.h
@@ -439,14 +480,96 @@ func (c *Camp) VisitEvictionOrder(visit func(cache.Entry) bool) {
 	}
 	for cursors.Len() > 0 {
 		n := cursors.Pop()
-		e := n.Value
-		if !visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}) {
+		if !visit(n.Value) {
 			return
 		}
 		if next := n.Next(); next != nil {
 			cursors.Push(next)
 		}
 	}
+}
+
+// SetWithPriority implements cache.PriorityOrdered: Set with the entry's
+// priority pinned to H = L + offset in the exported queue (class) instead
+// of the freshly derived L + ratio in a freshly bucketed queue. An offset
+// above the class — impossible in a well-formed snapshot, reachable through
+// a corrupt one — is clamped to the class so Proposition 1's
+// L ≤ H ≤ L + ratio bound always holds.
+func (c *Camp) SetWithPriority(key string, size, cost int64, prio, class uint64) bool {
+	if size < 0 {
+		size = 0
+	}
+	if e, ok := c.items[key]; ok {
+		c.detach(e)
+		if !c.admitAt(key, size, cost, prio, class) {
+			c.stats.Rejected++
+			return false
+		}
+		c.stats.Updates++
+		return true
+	}
+	if !c.admitAt(key, size, cost, prio, class) {
+		c.stats.Rejected++
+		return false
+	}
+	c.stats.Sets++
+	return true
+}
+
+// admitAt is admit with a pinned (priority offset, queue id). Unlike admit,
+// the new entry's H may sort before existing queue members (a snapshot
+// replayed in visitation order never does — it appends at the tail in O(1) —
+// but the contract tolerates any order), so the entry is linked at its
+// sorted queue position rather than blindly at the back. The ratio
+// integerizer still observes the entry's size, so the adaptive scale future
+// Sets bucket with is rebuilt from the restored working set.
+func (c *Camp) admitAt(key string, size, cost int64, prio, class uint64) bool {
+	if size > c.capacity {
+		return false
+	}
+	for c.used+size > c.capacity {
+		if !c.evictOne() {
+			return false
+		}
+	}
+	if size >= 1 {
+		c.conv.Observe(size)
+	}
+	bucket := class
+	if prio > bucket {
+		prio = bucket
+	}
+	e := &campEntry{key: key, size: size, cost: cost, bucket: bucket}
+	e.h = satAdd(c.l, prio)
+	c.seq++
+	e.seq = c.seq
+
+	q, ok := c.queues[bucket]
+	if !ok {
+		q = c.addQueue(bucket)
+		e.node = &ilist.Node[*campEntry]{Value: e}
+		q.list.PushBackNode(e.node)
+		c.heap.Push(q)
+		c.heapUpdates++
+	} else {
+		// e.seq is the newest, so ties on H sort after existing entries:
+		// scan from the tail for the first member that does not outrank e.
+		at := q.list.Back()
+		for at != nil && at.Value.h > e.h {
+			at = at.Prev()
+		}
+		if at == nil {
+			e.node = q.list.PushFront(e)
+			// The queue's head changed to a smaller priority.
+			c.heap.Fix(q.heapIdx)
+			c.heapUpdates++
+		} else {
+			e.node = q.list.InsertAfter(e, at)
+		}
+	}
+	c.items[key] = e
+	c.used += size
+	return true
 }
 
 // CheckInvariants validates the §2 data-structure invariants; tests call it

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"camp/internal/cache"
@@ -45,6 +46,7 @@ type gdsEntry struct {
 
 var _ cache.Policy = (*GDS)(nil)
 var _ cache.HeapVisitor = (*GDS)(nil)
+var _ cache.PriorityOrdered = (*GDS)(nil)
 
 // GDSOption configures a GDS policy.
 type GDSOption func(*GDS)
@@ -266,6 +268,28 @@ func (g *GDS) HeapUpdates() uint64 { return g.heapUpdates }
 // change a surviving item's H (only L moves), so sorting all residents by
 // the heap's (H, seq) comparison yields the exact EvictOne sequence.
 func (g *GDS) VisitEvictionOrder(visit func(cache.Entry) bool) {
+	for _, e := range g.sortedEntries() {
+		if !visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}) {
+			return
+		}
+	}
+}
+
+// VisitEvictionPriority implements cache.PriorityOrdered. GDS priorities are
+// floats, so the offset H − L travels as its IEEE-754 bits; subtraction by a
+// shared L is weakly monotonic in float64, so replaying the offsets against
+// a fresh L preserves the exact visitation order (ties that rounding may
+// introduce fall back to insertion order, which is the visitation order).
+// GDS has no queues, so the class is always zero.
+func (g *GDS) VisitEvictionPriority(visit func(e cache.Entry, prio, class uint64) bool) {
+	for _, e := range g.sortedEntries() {
+		if !visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}, math.Float64bits(e.h-g.l), 0) {
+			return
+		}
+	}
+}
+
+func (g *GDS) sortedEntries() []*gdsEntry {
 	entries := make([]*gdsEntry, 0, len(g.items))
 	for _, e := range g.items {
 		entries = append(entries, e)
@@ -276,11 +300,64 @@ func (g *GDS) VisitEvictionOrder(visit func(cache.Entry) bool) {
 		}
 		return entries[i].seq < entries[j].seq
 	})
-	for _, e := range entries {
-		if !visit(cache.Entry{Key: e.key, Size: e.size, Cost: e.cost}) {
-			return
+	return entries
+}
+
+// SetWithPriority implements cache.PriorityOrdered: Set with the entry's
+// priority pinned to H = L + the decoded offset (the class is ignored — GDS
+// has no queues). Offsets that violate Algorithm 1's L ≤ H ≤ L + ratio
+// bound — NaN, negative, or oversized bits from a corrupt snapshot — are
+// clamped into it rather than trusted.
+func (g *GDS) SetWithPriority(key string, size, cost int64, prio, _ uint64) bool {
+	if size < 0 {
+		size = 0
+	}
+	if e, ok := g.items[key]; ok {
+		g.removeEntry(e)
+		if !g.admitAt(key, size, cost, prio) {
+			g.stats.Rejected++
+			return false
+		}
+		g.stats.Updates++
+		return true
+	}
+	if !g.admitAt(key, size, cost, prio) {
+		g.stats.Rejected++
+		return false
+	}
+	g.stats.Sets++
+	return true
+}
+
+func (g *GDS) admitAt(key string, size, cost int64, prio uint64) bool {
+	if size > g.capacity {
+		return false
+	}
+	for g.used+size > g.capacity {
+		if !g.evictOne() {
+			return false
 		}
 	}
+	off := math.Float64frombits(prio)
+	r := ratio(cost, size)
+	if math.IsNaN(off) || off < 0 {
+		off = r
+	} else if off > r {
+		off = r
+	}
+	e := &gdsEntry{
+		key:     key,
+		size:    size,
+		cost:    cost,
+		h:       g.l + off,
+		seq:     g.nextSeq(),
+		heapIdx: -1,
+	}
+	g.heap.Push(e)
+	g.heapUpdates++
+	g.items[key] = e
+	g.used += size
+	return true
 }
 
 // CheckInvariants validates internal consistency, for tests.

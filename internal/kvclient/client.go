@@ -447,6 +447,64 @@ func (c *Client) ReplicaStatus() (map[string]string, error) {
 	return c.readConn().statLines("replica status\r\n")
 }
 
+// ReplicaShardStatus is one shard's parsed replication state from
+// ReplicaStatus.
+type ReplicaShardStatus struct {
+	// Connected reports whether the shard's stream is live.
+	Connected bool
+	// Gen/Offset/RunID are the in-memory stream position (the primary
+	// journal generation, byte offset, and run the position is scoped to).
+	Gen    uint64
+	Offset int64
+	RunID  uint64
+	// Durable reports whether a position is persisted in the follower's
+	// journal — the restart-resume guarantee: with it, a restart reconnects
+	// with CONTINUE instead of a full resync. DurableGen/DurableOffset are
+	// the persisted position.
+	Durable       bool
+	DurableGen    uint64
+	DurableOffset int64
+	// FullSyncs, Reconnects and AppliedOps count this session's bootstrap
+	// resyncs, stream reconnects and applied mutations.
+	FullSyncs  uint64
+	Reconnects uint64
+	AppliedOps uint64
+}
+
+// ReplicaShards parses ReplicaStatus into per-shard structs, indexed by
+// shard. Unknown or missing fields parse as zero, so older servers degrade
+// gracefully.
+func (c *Client) ReplicaShards() ([]ReplicaShardStatus, error) {
+	stats, err := c.ReplicaStatus()
+	if err != nil {
+		return nil, err
+	}
+	var out []ReplicaShardStatus
+	for i := 0; ; i++ {
+		prefix := fmt.Sprintf("shard%d_", i)
+		if _, ok := stats[prefix+"connected"]; !ok {
+			return out, nil
+		}
+		u := func(field string) uint64 {
+			v, _ := strconv.ParseUint(stats[prefix+field], 10, 64)
+			return v
+		}
+		s := ReplicaShardStatus{
+			Connected:  stats[prefix+"connected"] == "1",
+			Gen:        u("gen"),
+			RunID:      u("run_id"),
+			Durable:    stats[prefix+"durable"] == "1",
+			DurableGen: u("durable_gen"),
+			FullSyncs:  u("full_syncs"),
+			Reconnects: u("reconnects"),
+			AppliedOps: u("applied_ops"),
+		}
+		s.Offset, _ = strconv.ParseInt(stats[prefix+"offset"], 10, 64)
+		s.DurableOffset, _ = strconv.ParseInt(stats[prefix+"durable_offset"], 10, 64)
+		out = append(out, s)
+	}
+}
+
 // ReplicaPromote promotes the replica (the replica connection when attached,
 // else the server this client talks to) to primary: replication stops and
 // the server starts accepting writes.

@@ -93,13 +93,28 @@ func (s *Server) openPersistence() error {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
+			// Replay data ops through the store; track the replication
+			// position on the side (last record wins — it names exactly the
+			// ops replayed before it). A flush resets it: flushes mark a
+			// replica bootstrap whose stream position is not known until
+			// the position record that follows the staged entries.
+			apply := func(op persist.Op) error {
+				switch op.Kind {
+				case persist.KindPosition:
+					sh.replPos = op.Pos
+					return nil
+				case persist.KindFlush:
+					sh.replPos = persist.Position{}
+				}
+				return sh.store.restore(op)
+			}
 			mgr, rec, err := persist.Open(persist.Options{
 				Dir:        filepath.Join(p.Dir, shardDirName(i)),
 				Fsync:      p.Fsync,
 				DisableAOF: p.DisableAOF,
 				AOFLimit:   p.AOFLimit,
 				Logf:       p.Logf,
-			}, sh.store.restore)
+			}, apply)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
@@ -176,7 +191,21 @@ func (s *Server) migrate(dir string, legacy bool, oldIdx []int) error {
 				}
 				clear(applied)
 				return nil
-			case persist.KindSet:
+			case persist.KindScale:
+				// Policy-level state with no key to route by: every new
+				// shard inherits the source's learned scale (it only
+				// widens, so overlapping sources compose).
+				for _, sh := range s.shards {
+					if err := sh.store.restore(op); err != nil {
+						return err
+					}
+				}
+				return nil
+			case persist.KindPosition:
+				// Positions are byte offsets into the source layout's
+				// journals; they do not survive a re-sharding.
+				return nil
+			case persist.KindSet, persist.KindSetPrio:
 				applied[op.Key] = struct{}{}
 			case persist.KindDelete:
 				delete(applied, op.Key)

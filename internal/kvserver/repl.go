@@ -357,6 +357,15 @@ func (s *Server) Promote() error {
 	if !s.readOnly.CompareAndSwap(true, false) {
 		return errors.New("already promoted")
 	}
+	// The positions pointed into the old primary's journal; a primary has
+	// none. Clearing them keeps future compaction snapshots free of stale
+	// position records (journaled ones are harmless: if this server ever
+	// re-follows, the dead run ID forces the full resync it needs anyway).
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.replPos = persist.Position{}
+		sh.mu.Unlock()
+	}
 	s.logf("kvserver: promoted to primary (was replicating %s)", s.repl.primary)
 	return nil
 }
@@ -376,7 +385,15 @@ type replicaSession struct {
 func newReplicaSession(s *Server, primary string) *replicaSession {
 	rs := &replicaSession{s: s, primary: primary, stop: make(chan struct{})}
 	for i, sh := range s.shards {
-		rs.reps = append(rs.reps, &shardReplica{rs: rs, idx: i, sh: sh})
+		sr := &shardReplica{rs: rs, idx: i, sh: sh}
+		// Resume from the position recovery found in the local journal (a
+		// restart with a current journal then reconnects with CONTINUE
+		// instead of re-bootstrapping). A position scoped to a dead primary
+		// run is harmless: the primary answers it with FULLSYNC.
+		if pos := sh.replPos; pos.RunID != 0 {
+			sr.gen, sr.off, sr.runID = pos.Gen, pos.Off, pos.RunID
+		}
+		rs.reps = append(rs.reps, sr)
 	}
 	return rs
 }
@@ -436,8 +453,10 @@ type shardReplica struct {
 	reconnects uint64
 	applied    uint64
 
-	// staleStreak is only touched by the run goroutine.
+	// staleStreak and batch are only touched by the run goroutine; batch is
+	// the scratch for the op+position journal writes.
 	staleStreak int
+	batch       []persist.Op
 }
 
 func (sr *shardReplica) pos() (gen uint64, off int64, runID uint64) {
@@ -487,6 +506,10 @@ func (sr *shardReplica) setConnected(v bool) {
 
 // appendStatus renders this shard's replication state as STAT lines.
 func (sr *shardReplica) appendStatus(out []byte) []byte {
+	sh := sr.sh
+	sh.mu.Lock()
+	durable := sh.replPos
+	sh.mu.Unlock()
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	prefix := "shard" + strconv.Itoa(sr.idx) + "_"
@@ -497,6 +520,17 @@ func (sr *shardReplica) appendStatus(out []byte) []byte {
 	out = appendStat(out, prefix+"connected", conn)
 	out = appendStat(out, prefix+"gen", sr.gen)
 	out = appendStatInt(out, prefix+"offset", sr.off)
+	out = appendStat(out, prefix+"run_id", sr.runID)
+	// The position a restart would resume from (journaled atomically with
+	// the applied ops); durable=0 means none is persisted and a restart
+	// would full-resync.
+	dur := uint64(0)
+	if durable.RunID != 0 {
+		dur = 1
+	}
+	out = appendStat(out, prefix+"durable", dur)
+	out = appendStat(out, prefix+"durable_gen", durable.Gen)
+	out = appendStatInt(out, prefix+"durable_offset", durable.Off)
 	out = appendStat(out, prefix+"full_syncs", sr.fullSyncs)
 	out = appendStat(out, prefix+"reconnects", sr.reconnects)
 	out = appendStat(out, prefix+"applied_ops", sr.applied)
@@ -600,6 +634,10 @@ func (sr *shardReplica) syncOnce() (progressed bool, err error) {
 	switch reply.kind {
 	case syncContinue:
 		sr.commitSync(reply.gen, reply.off, reply.runID)
+		// Re-journal the handshake-confirmed position so the journal's
+		// last position record is authoritative even when the recovered
+		// one came from a truncated tail.
+		sr.persistPos(persist.Position{RunID: reply.runID, Gen: reply.gen, Off: reply.off})
 	case syncFull:
 		if err := sr.bootstrap(br, reply.snapSize); err != nil {
 			return false, fmt.Errorf("bootstrap: %w", err)
@@ -633,11 +671,15 @@ func (sr *shardReplica) syncOnce() (progressed bool, err error) {
 		}
 		switch frame.Kind {
 		case persist.FrameRecord:
-			gen, _, _ := sr.pos()
+			gen, off, _ := sr.pos()
 			if gen == 0 {
 				return frames > 0, errors.New("record frame before generation announcement")
 			}
-			sr.apply(frame.Op)
+			// The position after this op, journaled atomically with it:
+			// whatever prefix of the stream a crash preserves, the last
+			// position record in the local journal names exactly the ops
+			// recovery will replay, so the restart CONTINUEs from there.
+			sr.apply(frame.Op, persist.Position{RunID: reply.runID, Gen: gen, Off: off + frame.Bytes})
 			sr.mu.Lock()
 			sr.off += frame.Bytes
 			sr.applied++
@@ -645,6 +687,7 @@ func (sr *shardReplica) syncOnce() (progressed bool, err error) {
 			frames++
 		case persist.FrameGen:
 			sr.setPos(frame.Gen, persist.SegmentHeaderLen)
+			sr.persistPos(persist.Position{RunID: reply.runID, Gen: frame.Gen, Off: persist.SegmentHeaderLen})
 			frames++
 		case persist.FramePing:
 			// Liveness — and progress for the stale-position streak: pings
@@ -702,21 +745,76 @@ func (sr *shardReplica) bootstrap(r io.Reader, size int64) error {
 	}
 	sh.store = staged
 	sh.missedAt = make(map[string]time.Time)
-	sh.journalBatchLocked(batch)
+	// The old position described the old store; the bootstrap's stream
+	// position is unknown until the first generation frame. The flush
+	// record leading the batch resets recovery's position tracking the same
+	// way, so a crash here resyncs instead of resuming somewhere stale.
+	sh.replPos = persist.Position{}
+	if sh.journalBatchLocked(batch) {
+		// The flush+entries batch rewrote the journaled state wholesale,
+		// so any earlier append gap no longer matters: positions are
+		// trustworthy again.
+		sh.replDiverged = false
+	}
 	sh.mu.Unlock()
 	return nil
 }
 
 // apply installs one replicated op: through the store's policy (so costs and
 // queue placement replicate) and into the local journal (so the replica's own
-// restarts and its post-promotion durability work unchanged).
-func (sr *shardReplica) apply(op persist.Op) {
+// restarts and its post-promotion durability work unchanged) — together with
+// the position record that makes the op's stream position durable. Op and
+// position go down in one AppendBatch, so the journal can never hold the op
+// without the position that accounts for it (a torn tail drops them
+// together, or drops only the position — either way the recovered position
+// names ops the journal actually holds).
+func (sr *shardReplica) apply(op persist.Op, pos persist.Position) {
 	sh := sr.sh
+	batch := sr.batch[:0]
+	if op.Kind != persist.KindPosition {
+		// A position record arriving *in* the stream (a promoted
+		// ex-follower's journal) is bookkeeping from someone else's
+		// replication; only our own position belongs in our journal.
+		batch = append(batch, op)
+	}
 	sh.mu.Lock()
 	sh.store.restore(op)
-	sh.journalLocked(op)
+	switch {
+	case sh.canPersistPosLocked():
+		batch = append(batch, persist.Op{Kind: persist.KindPosition, Pos: pos})
+		if sh.journalBatchLocked(batch) {
+			sh.replPos = pos
+		} else {
+			// The journal may now be missing this op: never persist a
+			// position past the gap — a CONTINUE from there would
+			// silently diverge. One full resync on the next restart
+			// instead.
+			sh.markDivergedLocked()
+		}
+	case len(batch) > 0:
+		// No durable position (no AOF, or past a gap): keep the
+		// best-effort op journaling a replica always did.
+		sh.journalBatchLocked(batch)
+	}
 	sh.mu.Unlock()
+	sr.batch = batch
 	sr.rs.s.counters.replAppliedOps.Add(1)
+}
+
+// persistPos records a position change that carries no op: a generation
+// switch, or the handshake's confirmed resume point.
+func (sr *shardReplica) persistPos(pos persist.Position) {
+	sh := sr.sh
+	sr.batch = append(sr.batch[:0], persist.Op{Kind: persist.KindPosition, Pos: pos})
+	sh.mu.Lock()
+	if sh.canPersistPosLocked() {
+		if sh.journalBatchLocked(sr.batch) {
+			sh.replPos = pos
+		} else {
+			sh.markDivergedLocked()
+		}
+	}
+	sh.mu.Unlock()
 }
 
 // syncReply is the parsed primary response to a sync command.

@@ -128,12 +128,10 @@ func totalEvictions(s *Server) uint64 {
 // follower must hold the exact state — value, flags, expiry, cost — and a
 // warm hit rate within 1% of the uninterrupted primary's.
 //
-// The snapshot is taken before eviction begins: a pre-churn snapshot has
-// uniform priority offsets and rebuilds the policy exactly (PR 2's snapshot
-// order fidelity), and from there the streamed op feed replays the eviction
-// churn deterministically — so the promoted follower's state is not just
-// warm but byte-exact. (A snapshot taken mid-churn re-derives cross-queue
-// offsets, the ROADMAP "exact snapshot priorities" residual.)
+// The snapshot is taken before eviction begins, so the follower's exactness
+// here never depended on snapshot priorities; since snapshot format v2
+// (exact priority offsets) mid-churn snapshots are byte-exact too — that
+// case is pinned separately by TestReplicaBootstrapMidChurnFidelity.
 func TestFailoverPromoteWarmReplica(t *testing.T) {
 	if testing.Short() {
 		t.Skip("failover e2e is not a short-mode test")
@@ -349,12 +347,14 @@ func TestReplCompactionGenerationSwitch(t *testing.T) {
 	}
 }
 
-// TestReplFollowerTornTailResync crashes a persisted follower, tears its
+// TestReplFollowerTornTailContinues crashes a persisted follower, tears its
 // local journal tail, and restarts it: recovery must truncate the torn
 // record (pinning the Redis-style aof-load-truncated behavior on the
-// follower side) and the fresh session must full-resync back to equality —
-// including writes the primary took while the follower was down.
-func TestReplFollowerTornTailResync(t *testing.T) {
+// follower side) and — because every applied op was journaled atomically
+// with a position record — the fresh session resumes with CONTINUE from the
+// last intact position, never a full resync, and still converges back to
+// equality including writes the primary took while the follower was down.
+func TestReplFollowerTornTailContinues(t *testing.T) {
 	if testing.Short() {
 		t.Skip("torn-tail chaos test is not a short-mode test")
 	}
@@ -410,14 +410,17 @@ func TestReplFollowerTornTailResync(t *testing.T) {
 	if f2.recovered.TruncatedBytes == 0 {
 		t.Fatal("follower recovery never truncated the torn tail")
 	}
+	if pos := f2.shards[0].replPos; pos.RunID == 0 {
+		t.Fatal("no durable replication position recovered from the journal")
+	}
 	waitCaughtUp(t, p, f2)
 	assertStateEqual(t, captureState(p), captureState(f2))
 	for i, sr := range f2.repl.reps {
 		sr.mu.Lock()
 		fullSyncs := sr.fullSyncs
 		sr.mu.Unlock()
-		if fullSyncs != 1 {
-			t.Fatalf("restarted shard %d: %d full syncs, want 1", i, fullSyncs)
+		if fullSyncs != 0 {
+			t.Fatalf("restarted shard %d: %d full syncs, want 0 (durable position must CONTINUE)", i, fullSyncs)
 		}
 	}
 }
@@ -714,4 +717,449 @@ func FuzzParseSyncArgs(f *testing.F) {
 			t.Fatalf("accepted invalid sync args %q %q %q %q -> %d %d %d", a, b, c, d, idx, gen, off)
 		}
 	})
+}
+
+// TestReplicaBootstrapMidChurnFidelity is the replica half of the v2
+// fidelity property: a follower that bootstraps via FULLSYNC from a
+// snapshot cut mid-churn (non-uniform priority offsets) and then applies
+// the streamed journal tail must end with exactly the primary's cross-queue
+// eviction order, shard by shard — not just the same keys and values.
+func TestReplicaBootstrapMidChurnFidelity(t *testing.T) {
+	pCfg := Config{
+		MemoryBytes: 48 << 10, // small: the workload must evict
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	p := startServer(t, pCfg)
+	cp := dial(t, p)
+	rng := rand.New(rand.NewSource(11))
+	costs := []int64{1, 1, 40, 40, 900, 20000}
+	// Phase 1: get+set churn, so entries enter at many different L values.
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%03d", rng.Intn(600))
+		if rng.Intn(4) == 0 {
+			if _, _, err := cp.Get(key); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := cp.Set(key, make([]byte, 80), 0, 0, costs[rng.Intn(len(costs))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		ev := sh.store.evictions()
+		sh.mu.Unlock()
+		if ev == 0 {
+			t.Fatalf("shard %d: no evictions — mid-churn bootstrap is vacuous", i)
+		}
+	}
+	// The FULLSYNC artifact under test: a snapshot cut in the middle of the
+	// churn, with the priority offsets of that instant.
+	p.Snapshot()
+	// Phase 2: more mutations (no gets — reads are not journaled, so only
+	// mutations replicate; they still evict, and those eviction decisions
+	// depend on the exact offsets the snapshot carried).
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("key-%03d", rng.Intn(600))
+		if err := cp.Set(key, make([]byte, 80), 0, 0, costs[rng.Intn(len(costs))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f := startReplica(t, p, Config{
+		MemoryBytes: 48 << 10,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	waitCaughtUp(t, p, f)
+	assertStateEqual(t, captureState(p), captureState(f))
+	for i := range p.shards {
+		want := shardEvictionOrder(p.shards[i])
+		got := shardEvictionOrder(f.shards[i])
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: follower holds %d entries, primary %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d: eviction order diverges at %d/%d: follower %q, primary %q",
+					i, j, len(want), got[j], want[j])
+			}
+		}
+	}
+	for i, sr := range f.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 1 {
+			t.Fatalf("shard %d: %d full syncs, want exactly 1 bootstrap", i, fullSyncs)
+		}
+	}
+}
+
+// TestReplicaRestartContinues is the headline durable-position test: a
+// follower killed mid-stream and restarted on its own journal must resume
+// with CONTINUE at its persisted position — zero full_syncs in the new
+// session, no FULLSYNC served by the primary — and still converge to exact
+// equality. Also pins the kvclient status surface for the durable position.
+func TestReplicaRestartContinues(t *testing.T) {
+	pCfg := Config{
+		MemoryBytes: 4 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	p := startServer(t, pCfg)
+	cp := dial(t, p)
+	for i := 0; i < 60; i++ {
+		if err := cp.Set(fmt.Sprintf("key-%03d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fDir := t.TempDir()
+	fCfg := Config{
+		MemoryBytes: 4 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: fDir, Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	f1 := startReplica(t, p, fCfg)
+	waitCaughtUp(t, p, f1)
+
+	// The client-visible durable-position surface.
+	cf, err := kvclient.Dial(f1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := cf.ReplicaShards()
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("ReplicaShards returned %d shards, want 2", len(shards))
+	}
+	for i, st := range shards {
+		if !st.Connected || !st.Durable || st.DurableGen == 0 || st.DurableOffset < persist.SegmentHeaderLen || st.RunID == 0 {
+			t.Fatalf("shard %d status lacks a durable position: %+v", i, st)
+		}
+		if st.FullSyncs != 1 {
+			t.Fatalf("shard %d: fresh-dir bootstrap should be exactly 1 full sync, got %d", i, st.FullSyncs)
+		}
+	}
+
+	// Kill mid-stream: a writer keeps mutating while the follower dies.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if err := cp.Set(fmt.Sprintf("late-%03d", i), []byte("w"), 0, 0, 7); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	time.Sleep(2 * time.Millisecond)
+	f1.Kill()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	fullSyncsBefore := p.counters.replFullSyncsServed.Load()
+	f2 := startReplica(t, p, fCfg)
+	for i, sh := range f2.shards {
+		if sh.replPos.RunID == 0 {
+			t.Fatalf("shard %d: no durable position recovered", i)
+		}
+	}
+	waitCaughtUp(t, p, f2)
+	assertStateEqual(t, captureState(p), captureState(f2))
+	for i, sr := range f2.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 0 {
+			t.Fatalf("restarted shard %d: %d full syncs, want 0 (CONTINUE from persisted position)", i, fullSyncs)
+		}
+	}
+	if served := p.counters.replFullSyncsServed.Load(); served != fullSyncsBefore {
+		t.Fatalf("primary served %d full syncs across the restart, want 0", served-fullSyncsBefore)
+	}
+}
+
+// tearLastRecord truncates a journal file mid-way through its final record,
+// returning the kind of the record it tore. The caller picks the file.
+func tearLastRecord(t *testing.T, path string) persist.Kind {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(persist.SegmentHeaderLen)
+	lastStart, lastKind := off, persist.Kind(0)
+	for off < int64(len(data)) {
+		op, used, err := persist.DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatalf("parsing journal for tear point: %v", err)
+		}
+		lastStart, lastKind = off, op.Kind
+		off += int64(used)
+	}
+	if lastStart == int64(persist.SegmentHeaderLen) && off == lastStart {
+		t.Fatal("journal has no records to tear")
+	}
+	// Keep a few bytes of the final record so recovery sees a genuine torn
+	// record, not a clean boundary.
+	if err := os.Truncate(path, lastStart+3); err != nil {
+		t.Fatal(err)
+	}
+	return lastKind
+}
+
+// TestReplicaRestartTornPositionContinues is the nastiest torn-tail case:
+// the torn record is the position record itself. Recovery truncates it, the
+// journal then ends with an applied op whose position record is gone, and
+// the follower must CONTINUE from the previous position record — re-applying
+// that one op idempotently — rather than full-resync or diverge.
+func TestReplicaRestartTornPositionContinues(t *testing.T) {
+	pCfg := Config{
+		MemoryBytes: 4 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	p := startServer(t, pCfg)
+	cp := dial(t, p)
+	for i := 0; i < 50; i++ {
+		if err := cp.Set(fmt.Sprintf("key-%02d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fDir := t.TempDir()
+	fCfg := Config{
+		MemoryBytes: 4 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: fDir, Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	f1 := startReplica(t, p, fCfg)
+	waitCaughtUp(t, p, f1)
+	f1.Kill()
+
+	// The follower journals [op, position] per applied frame, so the final
+	// record is a position record; tear it mid-way.
+	aofs, err := filepath.Glob(filepath.Join(fDir, shardDirName(0), "aof-*.log"))
+	if err != nil || len(aofs) == 0 {
+		t.Fatalf("no follower journal found: %v (%v)", aofs, err)
+	}
+	if kind := tearLastRecord(t, aofs[len(aofs)-1]); kind != persist.KindPosition {
+		t.Fatalf("final journal record is kind %d, want a position record", kind)
+	}
+
+	// The primary moves on while the follower is down.
+	for i := 0; i < 20; i++ {
+		if err := cp.Set(fmt.Sprintf("late-%02d", i), []byte("w"), 0, 0, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f2 := startReplica(t, p, fCfg)
+	if f2.recovered.TruncatedBytes == 0 {
+		t.Fatal("follower recovery never truncated the torn position record")
+	}
+	if f2.shards[0].replPos.RunID == 0 {
+		t.Fatal("no earlier durable position survived the tear")
+	}
+	waitCaughtUp(t, p, f2)
+	assertStateEqual(t, captureState(p), captureState(f2))
+	for i, sr := range f2.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 0 {
+			t.Fatalf("restarted shard %d: %d full syncs, want 0", i, fullSyncs)
+		}
+	}
+}
+
+// TestReplicaRestartStaleRunIDResyncsOnce closes the safety half: a durable
+// position is scoped to one primary journal run, so a follower restarting
+// against a crash-restarted primary (fresh run ID) must NOT trust its
+// persisted offsets — exactly one FULLSYNC per shard, then equality.
+func TestReplicaRestartStaleRunIDResyncsOnce(t *testing.T) {
+	pDir := t.TempDir()
+	mkP := func() Config {
+		return Config{
+			MemoryBytes: 4 << 20,
+			Policy:      "camp",
+			DisableIQ:   true,
+			Persist:     &PersistConfig{Dir: pDir, Fsync: persist.FsyncNo, Logf: t.Logf},
+		}
+	}
+	p1 := startServer(t, mkP())
+	cp1 := dial(t, p1)
+	for i := 0; i < 40; i++ {
+		if err := cp1.Set(fmt.Sprintf("key-%02d", i), []byte("v"), 0, 0, int64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fDir := t.TempDir()
+	fCfg := Config{
+		MemoryBytes: 4 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: fDir, Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	f1 := startReplica(t, p1, fCfg)
+	waitCaughtUp(t, p1, f1)
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	staleRun := uint64(0)
+	// The persisted position survives the orderly shutdown.
+	{
+		probe, err := New(fCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleRun = probe.shards[0].replPos.RunID
+		probe.Close()
+		if staleRun == 0 {
+			t.Fatal("orderly shutdown lost the durable position")
+		}
+	}
+
+	p1.Kill()
+	p2 := startServer(t, mkP()) // same data dir, fresh journal run
+	cp2 := dial(t, p2)
+	for i := 0; i < 15; i++ {
+		if err := cp2.Set(fmt.Sprintf("second-%02d", i), []byte("w"), 0, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f2 := startReplica(t, p2, fCfg)
+	if got := f2.shards[0].replPos.RunID; got != staleRun {
+		t.Fatalf("recovered run ID %d, want the stale %d", got, staleRun)
+	}
+	waitCaughtUp(t, p2, f2)
+	assertStateEqual(t, captureState(p2), captureState(f2))
+	for i, sr := range f2.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		if fullSyncs != 1 {
+			t.Fatalf("shard %d: %d full syncs, want exactly 1 (stale run ID must resync once)", i, fullSyncs)
+		}
+	}
+}
+
+// TestReplicaWithoutJournalReportsNotDurable pins the status contract: a
+// replica with no AOF (no -data-dir here) has nowhere to persist positions,
+// so it must report durable 0 — claiming otherwise would promise a cheap
+// CONTINUE restart that a journal-less replica can never deliver.
+func TestReplicaWithoutJournalReportsNotDurable(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	cp := dial(t, p)
+	if err := cp.Set("seed", []byte("v"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := startReplica(t, p, Config{MemoryBytes: 1 << 20, Policy: "camp", DisableIQ: true})
+	waitCaughtUp(t, p, f)
+	if pos := f.shards[0].replPos; pos.RunID != 0 {
+		t.Fatalf("journal-less replica recorded a durable position %+v", pos)
+	}
+	cf := dial(t, f)
+	shards, err := cf.ReplicaShards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range shards {
+		if st.Durable || st.DurableGen != 0 || st.DurableOffset != 0 {
+			t.Fatalf("shard %d claims a durable position without a journal: %+v", i, st)
+		}
+		if !st.Connected || st.AppliedOps == 0 {
+			t.Fatalf("shard %d should still be streaming: %+v", i, st)
+		}
+	}
+}
+
+// TestReplicaDivergedJournalStopsPersistingPositions pins the gap
+// safeguard: once an op+position append fails, the journal may be missing
+// an applied op, so later positions must neither advance nor persist — a
+// restart must fall back to a full resync rather than CONTINUE past the
+// gap into silent divergence. A successful bootstrap (which rewrites the
+// journaled state wholesale) heals the flag.
+func TestReplicaDivergedJournalStopsPersistingPositions(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	cp := dial(t, p)
+	if err := cp.Set("seed", []byte("v"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	fDir := t.TempDir()
+	fCfg := Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: fDir, Fsync: persist.FsyncNo, Logf: t.Logf},
+	}
+	f := startReplica(t, p, fCfg)
+	waitCaughtUp(t, p, f)
+	sh := f.shards[0]
+	sh.mu.Lock()
+	before := sh.replPos
+	sh.markDivergedLocked()
+	sh.mu.Unlock()
+	if before.RunID == 0 {
+		t.Fatal("no durable position before the simulated gap")
+	}
+	if err := cp.Set("after-gap", []byte("w"), 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, f)
+	sh.mu.Lock()
+	pos, diverged := sh.replPos, sh.replDiverged
+	sh.mu.Unlock()
+	if pos.RunID != 0 || !diverged {
+		t.Fatalf("position advanced past a journal gap: %+v (diverged=%v)", pos, diverged)
+	}
+	// A restart now sees no position (the journal's stale records predate
+	// the flush a resync writes) — the stream itself keeps applying either
+	// way; what matters is that the divergence never reached disk as a
+	// trustworthy position. A fresh bootstrap clears the flag.
+	f.Kill()
+	f2 := startReplica(t, p, fCfg)
+	waitCaughtUp(t, p, f2)
+	for i, sr := range f2.repl.reps {
+		sr.mu.Lock()
+		fullSyncs := sr.fullSyncs
+		sr.mu.Unlock()
+		// The journal still holds position records from before the gap, so
+		// the restart may CONTINUE from a pre-gap position (re-applying the
+		// tail) or, had the gap been real on disk, resync; either way it
+		// must converge — and after a FULLSYNC the flag is clear again.
+		_ = fullSyncs
+		f2.shards[i].mu.Lock()
+		diverged := f2.shards[i].replDiverged
+		f2.shards[i].mu.Unlock()
+		if diverged {
+			t.Fatalf("shard %d still diverged after restart", i)
+		}
+	}
+	assertStateEqual(t, captureState(p), captureState(f2))
 }

@@ -87,6 +87,28 @@ type shard struct {
 	store    *store
 	missedAt map[string]time.Time
 
+	// replPos is this shard's durable replication position — the primary
+	// journal (run, generation, offset) every applied op up to now came
+	// from. Guarded by mu so it moves atomically with the ops it describes:
+	// the follower writes it together with each applied op (one position
+	// record in the same journal batch), compaction snapshots carry the
+	// latest one across journal truncation, and recovery seeds it back so a
+	// restarted follower resumes with CONTINUE instead of a full resync.
+	// Zero (RunID 0) on primaries, on followers that have not yet
+	// bootstrapped, and on followers without an AOF to persist it in.
+	// It is only ever set after the journal write that records it
+	// succeeded: a position the journal does not hold must never be
+	// reported (or snapshotted) as durable.
+	replPos persist.Position
+	// replDiverged marks the local journal as no longer a faithful prefix
+	// of the applied stream: an op+position append failed, so an op may be
+	// missing from the middle of the journal. From then on positions are
+	// neither persisted nor advanced — a restart falls back to one full
+	// resync instead of CONTINUE-ing past the gap into silent divergence.
+	// A successful FULLSYNC bootstrap (whose flush+entries batch rewrites
+	// the journaled state wholesale) heals it. Guarded by mu.
+	replDiverged bool
+
 	mgr *persist.Manager // nil without persistence
 
 	// compactMu serializes snapshot cycles on this shard (the background
@@ -305,19 +327,40 @@ func (sh *shard) journalLocked(op persist.Op) {
 
 // journalBatchLocked appends a group of mutations as one journal write (one
 // fsync under FsyncAlways) — the bulk form of journalLocked a replica's
-// bootstrap swap uses. The caller holds sh.mu.
-func (sh *shard) journalBatchLocked(ops []persist.Op) {
+// bootstrap swap uses. ok reports whether the batch reached the journal
+// (vacuously true without one); the replication path uses it to stop
+// trusting positions after a failed append. The caller holds sh.mu.
+func (sh *shard) journalBatchLocked(ops []persist.Op) (ok bool) {
 	if sh.mgr == nil {
-		return
+		return true
 	}
 	if err := sh.mgr.AppendBatch(ops); err != nil {
 		sh.srv.counters.persistErrors.Add(1)
 		sh.srv.logf("kvserver: journal batch: %v", err)
-		return
+		return false
 	}
 	if sh.mgr.NeedsCompaction() {
 		sh.srv.requestCompact(sh)
 	}
+	return true
+}
+
+// canPersistPosLocked reports whether this shard can durably record
+// replication positions: there is an AOF to put them in, and the journal is
+// still a faithful prefix of the applied stream. The caller holds sh.mu.
+func (sh *shard) canPersistPosLocked() bool {
+	return sh.mgr != nil && sh.srv.cfg.Persist != nil &&
+		!sh.srv.cfg.Persist.DisableAOF && !sh.replDiverged
+}
+
+// markDivergedLocked records a journal gap: an append on the replication
+// apply path failed, so the journal may be missing an applied op. The
+// persisted position must not advance past the gap — clear it and stop
+// persisting, forcing the next restart into one clean full resync. The
+// caller holds sh.mu.
+func (sh *shard) markDivergedLocked() {
+	sh.replDiverged = true
+	sh.replPos = persist.Position{}
 }
 
 // compact runs one snapshot-then-truncate cycle on this shard. The shard
@@ -342,6 +385,14 @@ func (sh *shard) compact() {
 		return
 	}
 	ops := sh.store.collectOps()
+	// A follower's position must survive the journal truncation this
+	// compaction performs — its position records live in the segments being
+	// retired — so the snapshot carries the latest one. Read under the same
+	// lock as the entry copy-out: the position describes exactly the ops in
+	// this snapshot.
+	if pos := sh.replPos; pos.RunID != 0 {
+		ops = append(ops, persist.Op{Kind: persist.KindPosition, Pos: pos})
+	}
 	sh.mu.Unlock()
 	if err := c.Commit(emitOps(ops)); err != nil {
 		sh.srv.counters.persistErrors.Add(1)

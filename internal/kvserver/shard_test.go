@@ -467,9 +467,9 @@ func shardEvictionOrder(sh *shard) []string {
 // server's eviction sequence matches the pre-snapshot one exactly. Entries
 // share buckets (same cost/size repeats) so within-queue LRU order matters,
 // which a random-map-order snapshot would scramble. The workload avoids
-// evictions on purpose: with uniform priority offsets (L=0) the whole
-// schedule must be exact; after churn only within-queue order is guaranteed
-// (see cache.EvictionOrdered), which this test does not cover.
+// evictions on purpose, pinning the order-only baseline; the post-churn
+// case (non-uniform offsets, exact since snapshot format v2) is
+// TestSnapshotOrderFidelityMidChurn.
 func TestSnapshotOrderFidelity(t *testing.T) {
 	dir := t.TempDir()
 	pcfg := func() *PersistConfig {
@@ -647,4 +647,87 @@ func TestShardsConfigValidation(t *testing.T) {
 		t.Fatalf("shard capacities sum to %d, want %d", total, 1<<20)
 	}
 	s.Close()
+}
+
+// TestSnapshotOrderFidelityMidChurn is the v2 fidelity property at the
+// server level: a randomized trace drives CAMP through heavy eviction churn
+// (so the live priority offsets are non-uniform — the state order-only v1
+// snapshots could not reproduce), a snapshot is cut mid-churn, the server is
+// killed, and the warm restart must reproduce the live cache's full
+// cross-queue eviction order exactly, shard by shard — the drain the
+// pre-churn TestSnapshotOrderFidelity could not pin.
+func TestSnapshotOrderFidelityMidChurn(t *testing.T) {
+	for _, policy := range []string{"camp", "gds", "lru"} {
+		t.Run(policy, func(t *testing.T) {
+			dir := t.TempDir()
+			pcfg := func() *PersistConfig {
+				return &PersistConfig{Dir: dir, Fsync: persist.FsyncAlways, Logf: t.Logf}
+			}
+			cfg := Config{
+				MemoryBytes: 48 << 10, // small on purpose: the workload must evict
+				Shards:      2,
+				Policy:      policy,
+				DisableIQ:   true,
+				Persist:     pcfg(),
+			}
+			s1 := startServer(t, cfg)
+			c := dial(t, s1)
+			rng := rand.New(rand.NewSource(7))
+			costs := []int64{1, 1, 40, 40, 900, 20000} // repeats force shared queues
+			// Mixed churn: sets over a keyspace larger than capacity plus
+			// re-reads, so entries are admitted at many different L values
+			// and the cross-queue offsets diverge.
+			for i := 0; i < 2500; i++ {
+				key := fmt.Sprintf("key-%03d", rng.Intn(600))
+				if rng.Intn(4) == 0 {
+					if _, _, err := c.Get(key); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := c.Set(key, make([]byte, 80), 0, 0, costs[rng.Intn(len(costs))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, sh := range s1.shards {
+				sh.mu.Lock()
+				ev := sh.store.evictions()
+				sh.mu.Unlock()
+				if ev == 0 {
+					t.Fatalf("shard %d: no evictions — mid-churn fidelity is vacuous", i)
+				}
+			}
+			s1.Snapshot() // the mid-churn warm-start artifact under test
+			wantState := captureState(s1)
+			want := make([][]string, len(s1.shards))
+			for i, sh := range s1.shards {
+				want[i] = shardEvictionOrder(sh)
+				if len(want[i]) == 0 {
+					t.Fatalf("shard %d is empty", i)
+				}
+			}
+			s1.Kill()
+
+			cfg.Persist = pcfg()
+			s2, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if s2.recovered.SnapshotOps == 0 || s2.recovered.ReplayedOps != 0 {
+				t.Fatalf("warm start must come from snapshots alone: %+v", s2.recovered)
+			}
+			assertStateEqual(t, wantState, captureState(s2))
+			for i, sh := range s2.shards {
+				got := shardEvictionOrder(sh)
+				if len(got) != len(want[i]) {
+					t.Fatalf("shard %d: %d entries after load, want %d", i, len(got), len(want[i]))
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Fatalf("shard %d: eviction order diverges at %d/%d: got %q, want %q",
+							i, j, len(got), got[j], want[i][j])
+					}
+				}
+			}
+		})
+	}
 }

@@ -210,15 +210,27 @@ func (st *store) set(key string, value []byte, flags uint32, ttl, cost int64, no
 // setAbs is set with an absolute expiry, the form recovery needs: journals
 // record deadlines, not TTLs, so restarts do not extend item lifetimes.
 func (st *store) setAbs(key string, value []byte, flags uint32, expires time.Time, cost int64) bool {
+	return st.setAbsPrio(key, value, flags, expires, cost, 0, 0, false)
+}
+
+// setAbsPrio is setAbs with an optional pinned eviction-priority offset, the
+// form v2 snapshot replay uses: a KindSetPrio record re-enters the policy at
+// the exact H − L it held when the snapshot was cut, so a mid-churn warm
+// start reproduces the live cross-queue eviction schedule. Policies without
+// priority state (and the slab layout, whose class LRUs are pure recency)
+// ignore the offset — replay order alone restores them exactly.
+func (st *store) setAbsPrio(key string, value []byte, flags uint32, expires time.Time, cost int64, prio, class uint64, hasPrio bool) bool {
 	it := &item{key: key, value: value, flags: flags, expiresAt: expires}
 	size := st.itemSize(key, value)
 	switch {
 	case st.slab != nil:
+		// Slab layout: per-class LRUs are pure recency; replay order alone
+		// restores them.
 		return st.setSlab(key, it, size, cost)
 	case st.buddy != nil:
-		return st.setBuddy(key, it, size, cost)
+		return st.setBuddy(key, it, size, cost, prio, class, hasPrio)
 	default:
-		if !st.policy.Set(key, size, cost) {
+		if !st.policySet(key, size, cost, prio, class, hasPrio) {
 			delete(st.items, key) // a failed grow drops the entry
 			return false
 		}
@@ -227,7 +239,24 @@ func (st *store) setAbs(key string, value []byte, flags uint32, expires time.Tim
 	}
 }
 
-func (st *store) setBuddy(key string, it *item, size, cost int64) bool {
+// policySet admits through the policy, pinning the priority offset and class
+// when they were recorded and the policy can restore them.
+func (st *store) policySet(key string, size, cost int64, prio, class uint64, hasPrio bool) bool {
+	if hasPrio {
+		if po, ok := st.policy.(cache.PriorityOrdered); ok {
+			return po.SetWithPriority(key, size, cost, prio, class)
+		}
+	}
+	return st.policy.Set(key, size, cost)
+}
+
+// setBuddy places the value in the buddy arena and charges the policy its
+// rounded block size. The pinned priority (v2 snapshot replay) passes
+// through to the policy: the buddy layout drives eviction through the same
+// CAMP/GDS policy byte mode uses, so its warm starts restore exact
+// cross-queue priorities the same way (block-size rounding is
+// deterministic, so the pinned class matches the recomputed block).
+func (st *store) setBuddy(key string, it *item, size, cost int64, prio, class uint64, hasPrio bool) bool {
 	// Replace any previous version first so we never evict ourselves.
 	st.deleteBuddy(key)
 	blockSize, err := st.buddy.BlockSize(size)
@@ -238,7 +267,7 @@ func (st *store) setBuddy(key string, it *item, size, cost int64) bool {
 	if err != nil {
 		return false
 	}
-	if !st.policy.Set(key, blockSize, cost) {
+	if !st.policySet(key, blockSize, cost, prio, class, hasPrio) {
 		st.buddy.Free(off)
 		return false
 	}
@@ -462,6 +491,8 @@ func (st *store) restore(op persist.Op) error {
 	switch op.Kind {
 	case persist.KindSet:
 		st.setAbs(op.Key, op.Value, op.Flags, op.ExpiresAt(), op.Cost)
+	case persist.KindSetPrio:
+		st.setAbsPrio(op.Key, op.Value, op.Flags, op.ExpiresAt(), op.Cost, op.Priority, op.Class, true)
 	case persist.KindDelete:
 		st.delete(op.Key)
 	case persist.KindTouch:
@@ -470,6 +501,13 @@ func (st *store) restore(op persist.Op) error {
 		}
 	case persist.KindFlush:
 		st.flush()
+	case persist.KindPosition:
+		// Replication bookkeeping, not data; the recovery wrapper that
+		// cares about positions tracks them before calling restore.
+	case persist.KindScale:
+		if ps, ok := st.policy.(cache.PriorityScaled); ok {
+			ps.RestorePriorityScale(op.Scale)
+		}
 	default:
 		return fmt.Errorf("kvserver: unknown journal op kind %d", op.Kind)
 	}
@@ -477,34 +515,38 @@ func (st *store) restore(op persist.Op) error {
 }
 
 // collectOps copies every live entry out as a snapshot op, in
-// eviction-priority order whenever the policy can enumerate it (ROADMAP's
-// "snapshot order fidelity": replaying the ops in this order rebuilds the
-// policy's queues in their live order — exact within each queue, and exact
-// across queues whenever the live priority offsets are uniform; see
-// cache.EvictionOrdered for the post-churn caveat). The caller holds the
+// eviction-priority order whenever the policy can enumerate it, and — for
+// the priority policies (CAMP, GDS) — with each entry's exact priority
+// offset (H − L) as a KindSetPrio record, so replaying the ops rebuilds not
+// just the queues' order but the live cross-queue eviction schedule,
+// byte-exact even after eviction churn (snapshot format v2; ROADMAP's
+// "exact snapshot priorities"). Pure-recency layouts (LRU, slab classes)
+// stay KindSet: their order is their entire state. The caller holds the
 // shard mutex only for this copy-out; the returned ops alias the stored
 // value slices, which is safe to serialize after unlocking because the
 // server never mutates a stored value in place — every rewrite installs a
 // fresh slice.
 func (st *store) collectOps() []persist.Op {
 	ops := make([]persist.Op, 0, len(st.items))
-	add := func(key string, cost int64) bool {
+	add := func(key string, cost int64, prio, class uint64, kind persist.Kind) bool {
 		it, ok := st.items[key]
 		if !ok {
 			return true
 		}
 		ops = append(ops, persist.Op{
-			Kind:    persist.KindSet,
-			Key:     key,
-			Value:   it.value,
-			Flags:   it.flags,
-			Expires: persist.ExpiresFrom(it.expiresAt),
-			Size:    st.itemSize(key, it.value),
-			Cost:    cost,
+			Kind:     kind,
+			Key:      key,
+			Value:    it.value,
+			Flags:    it.flags,
+			Expires:  persist.ExpiresFrom(it.expiresAt),
+			Size:     st.itemSize(key, it.value),
+			Cost:     cost,
+			Priority: prio,
+			Class:    class,
 		})
 		return true
 	}
-	visit := func(e cache.Entry) bool { return add(e.Key, e.Cost) }
+	visit := func(e cache.Entry) bool { return add(e.Key, e.Cost, 0, 0, persist.KindSet) }
 	switch {
 	case st.slab != nil:
 		// Per-class LRU order, classes ascending: each class queue is
@@ -513,12 +555,21 @@ func (st *store) collectOps() []persist.Op {
 			lru.VisitEvictionOrder(visit)
 		}
 	default:
-		if eo, ok := st.policy.(cache.EvictionOrdered); ok {
+		if po, ok := st.policy.(cache.PriorityOrdered); ok {
+			// The adaptive scale goes first so replay buckets every
+			// subsequent Set with the live workload's learned state.
+			if ps, ok := st.policy.(cache.PriorityScaled); ok {
+				ops = append(ops, persist.Op{Kind: persist.KindScale, Scale: ps.PriorityScale()})
+			}
+			po.VisitEvictionPriority(func(e cache.Entry, prio, class uint64) bool {
+				return add(e.Key, e.Cost, prio, class, persist.KindSetPrio)
+			})
+		} else if eo, ok := st.policy.(cache.EvictionOrdered); ok {
 			eo.VisitEvictionOrder(visit)
 		} else {
 			for key := range st.items {
 				if _, meta, ok := st.peek(key); ok {
-					add(key, meta.Cost)
+					add(key, meta.Cost, 0, 0, persist.KindSet)
 				}
 			}
 		}

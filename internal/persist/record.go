@@ -34,7 +34,35 @@ const (
 	// no key; journaling it makes a flush durable even when the
 	// snapshot-then-truncate that normally follows fails.
 	KindFlush Kind = 4
+	// KindSetPrio is KindSet plus the entry's eviction-priority offset
+	// (policy priority H minus the global offset L, encoded by the policy).
+	// Snapshot format v2 writes these so a warm start restores the live
+	// cross-queue eviction schedule exactly, even mid-churn; stores whose
+	// policy has no priority state keep writing plain KindSet.
+	KindSetPrio Kind = 5
+	// KindPosition records a replication position: the primary journal run,
+	// generation and byte offset the follower had applied up to this point.
+	// Followers append one atomically with each applied op (and snapshots
+	// carry the latest one across compaction), so a restarted follower
+	// resumes with CONTINUE instead of a full resync. It mutates no data.
+	KindPosition Kind = 6
+	// KindScale records a policy's adaptive priority scale (CAMP's ratio
+	// integerizer state — the largest size ever observed). Snapshot v2
+	// writes it ahead of the entries so a restored policy buckets future
+	// inserts exactly as the live one would have; it is learned from the
+	// whole workload, evicted entries included, so it cannot be re-derived
+	// from the snapshot's entries.
+	KindScale Kind = 7
 )
+
+// Position is a replication position: a byte offset into one generation of
+// one journal run. RunID scopes it — offsets are only meaningful against
+// the journal run that produced them (see Manager.RunID).
+type Position struct {
+	RunID uint64
+	Gen   uint64
+	Off   int64
+}
 
 // Op is one durable mutation. Snapshots are sequences of KindSet Ops; the
 // AOF additionally carries deletes and touches.
@@ -53,6 +81,18 @@ type Op struct {
 	// Cost is the CAMP recomputation cost — the state that took real
 	// wall-clock time to learn and that recovery must not throw away.
 	Cost int64
+	// Priority and Class are the policy priority offset and priority class
+	// (CAMP's queue id) carried by KindSetPrio records — opaque to this
+	// package; the policy that exported them decodes them. Zero for every
+	// other kind.
+	Priority uint64
+	Class    uint64
+	// Pos is the replication position carried by KindPosition records;
+	// zero for every other kind.
+	Pos Position
+	// Scale is the adaptive priority scale carried by KindScale records;
+	// zero for every other kind.
+	Scale uint64
 }
 
 // ExpiresAt converts the Expires field to a time.Time (zero when unset).
@@ -108,15 +148,25 @@ func AppendRecord(dst []byte, op Op) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(op.Key)))
 	dst = append(dst, op.Key...)
 	switch op.Kind {
-	case KindSet:
+	case KindSet, KindSetPrio:
 		dst = binary.AppendUvarint(dst, uint64(len(op.Value)))
 		dst = append(dst, op.Value...)
 		dst = binary.LittleEndian.AppendUint32(dst, op.Flags)
 		dst = binary.AppendVarint(dst, op.Expires)
 		dst = binary.AppendVarint(dst, op.Size)
 		dst = binary.AppendVarint(dst, op.Cost)
+		if op.Kind == KindSetPrio {
+			dst = binary.AppendUvarint(dst, op.Priority)
+			dst = binary.AppendUvarint(dst, op.Class)
+		}
 	case KindTouch:
 		dst = binary.AppendVarint(dst, op.Expires)
+	case KindPosition:
+		dst = binary.AppendUvarint(dst, op.Pos.RunID)
+		dst = binary.AppendUvarint(dst, op.Pos.Gen)
+		dst = binary.AppendVarint(dst, op.Pos.Off)
+	case KindScale:
+		dst = binary.AppendUvarint(dst, op.Scale)
 	case KindDelete, KindFlush:
 		// Key only (empty for flush).
 	}
@@ -185,15 +235,16 @@ func decodePayload(p []byte) (Op, error) {
 	if err != nil {
 		return Op{}, err
 	}
-	if len(key) == 0 && op.Kind != KindFlush {
+	keyless := op.Kind == KindFlush || op.Kind == KindPosition || op.Kind == KindScale
+	if len(key) == 0 && !keyless {
 		return Op{}, fmt.Errorf("%w: empty key", ErrCorruptRecord)
 	}
-	if len(key) != 0 && op.Kind == KindFlush {
-		return Op{}, fmt.Errorf("%w: flush record carries a key", ErrCorruptRecord)
+	if len(key) != 0 && keyless {
+		return Op{}, fmt.Errorf("%w: kind %d record carries a key", ErrCorruptRecord, op.Kind)
 	}
 	op.Key = string(key)
 	switch op.Kind {
-	case KindSet:
+	case KindSet, KindSetPrio:
 		val, rest, err := decodeBytes(p, MaxValueLen, "value")
 		if err != nil {
 			return Op{}, err
@@ -217,9 +268,38 @@ func decodePayload(p []byte) (Op, error) {
 		if op.Size < 0 || op.Cost < 0 {
 			return Op{}, fmt.Errorf("%w: negative size or cost", ErrCorruptRecord)
 		}
+		if op.Kind == KindSetPrio {
+			if op.Priority, p, err = decodeUvarint(p, "priority"); err != nil {
+				return Op{}, err
+			}
+			if op.Class, p, err = decodeUvarint(p, "priority class"); err != nil {
+				return Op{}, err
+			}
+		}
 	case KindDelete, KindFlush:
 	case KindTouch:
 		if op.Expires, p, err = decodeVarint(p, "expires"); err != nil {
+			return Op{}, err
+		}
+	case KindPosition:
+		if op.Pos.RunID, p, err = decodeUvarint(p, "run id"); err != nil {
+			return Op{}, err
+		}
+		if op.Pos.Gen, p, err = decodeUvarint(p, "generation"); err != nil {
+			return Op{}, err
+		}
+		if op.Pos.Off, p, err = decodeVarint(p, "offset"); err != nil {
+			return Op{}, err
+		}
+		// A structurally valid position names a real run, a real
+		// generation, and an offset at or past the segment header (run ID
+		// zero is the follower's "no position" sentinel and is never
+		// persisted).
+		if op.Pos.RunID == 0 || op.Pos.Gen == 0 || op.Pos.Off < SegmentHeaderLen {
+			return Op{}, fmt.Errorf("%w: invalid position %+v", ErrCorruptRecord, op.Pos)
+		}
+	case KindScale:
+		if op.Scale, p, err = decodeUvarint(p, "scale"); err != nil {
 			return Op{}, err
 		}
 	default:
@@ -247,6 +327,14 @@ func decodeVarint(p []byte, what string) (int64, []byte, error) {
 	v, w := binary.Varint(p)
 	if w <= 0 {
 		return 0, nil, fmt.Errorf("%w: bad %s varint", ErrCorruptRecord, what)
+	}
+	return v, p[w:], nil
+}
+
+func decodeUvarint(p []byte, what string) (uint64, []byte, error) {
+	v, w := binary.Uvarint(p)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad %s uvarint", ErrCorruptRecord, what)
 	}
 	return v, p[w:], nil
 }

@@ -12,21 +12,41 @@ import (
 )
 
 // Snapshot format: an 8-byte magic, a uint32 format version, then a stream
-// of KindSet records (see record.go). Unlike the AOF, a snapshot is all or
+// of entry records (see record.go). Unlike the AOF, a snapshot is all or
 // nothing: any decode failure rejects the whole file with a clear error —
 // loading half a snapshot would silently serve a store missing entries.
+//
+// Version history:
+//
+//	v1: KindSet records only — key, value, flags, expiry, size, cost.
+//	v2: entries may be KindSetPrio (KindSet plus the policy priority
+//	    offset H − L and priority class, so a mid-churn warm start restores
+//	    the exact cross-queue eviction schedule), and the stream may carry
+//	    KindScale records (the policy's adaptive ratio-integerizer state)
+//	    and KindPosition records persisting a follower's replication
+//	    position across compaction. v1 files are still read bit-for-bit;
+//	    writers always emit v2 headers.
 const (
 	snapshotMagic = "CAMPSNP1"
 	// SnapshotVersion is the current snapshot format version. Readers
 	// refuse snapshots written by a newer version.
-	SnapshotVersion = 1
+	SnapshotVersion = 2
+	// snapshotV2 is the version that introduced the priority, scale and
+	// position record kinds. The read gate compares against it — not
+	// against the moving SnapshotVersion, which would retroactively
+	// outlaw those kinds in v2 files the day v3 ships.
+	snapshotV2 = 2
 )
 
 // aofMagic / AOFVersion head every append-only log segment.
 const (
 	aofMagic = "CAMPAOF1"
-	// AOFVersion is the current AOF segment format version.
-	AOFVersion = 1
+	// AOFVersion is the current AOF segment format version. v2 segments may
+	// contain KindSetPrio and KindPosition records (follower journals);
+	// v1 segments are still read. A v1 segment reopened for appending keeps
+	// its header but may gain v2 record kinds — readers therefore accept
+	// the new kinds regardless of the segment header version.
+	AOFVersion = 2
 )
 
 // fileHeaderLen is the byte length of a snapshot or AOF header.
@@ -72,18 +92,28 @@ func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
 	return sw, nil
 }
 
-// Write appends one entry. The op kind is forced to KindSet.
+// Write appends one record. Entry ops keep their kind (KindSetPrio when the
+// caller exported a priority, KindSet otherwise — a zero Kind becomes
+// KindSet) and KindScale/KindPosition records pass through; nothing else
+// belongs in a snapshot.
 func (sw *SnapshotWriter) Write(op Op) error {
-	op.Kind = KindSet
+	switch op.Kind {
+	case KindSetPrio, KindPosition, KindScale:
+	default:
+		op.Kind = KindSet
+	}
 	sw.buf = AppendRecord(sw.buf[:0], op)
 	if _, err := sw.w.Write(sw.buf); err != nil {
 		return fmt.Errorf("persist: snapshot record: %w", err)
 	}
-	sw.n++
+	if op.Kind == KindSet || op.Kind == KindSetPrio {
+		sw.n++
+	}
 	return nil
 }
 
-// Len returns the number of entries written so far.
+// Len returns the number of entries written so far (metadata records —
+// scale, position — are not entries).
 func (sw *SnapshotWriter) Len() int { return sw.n }
 
 // Flush drains the buffered writer. The caller owns syncing the underlying
@@ -91,36 +121,53 @@ func (sw *SnapshotWriter) Len() int { return sw.n }
 func (sw *SnapshotWriter) Flush() error { return sw.w.Flush() }
 
 // ReadSnapshot strictly decodes a snapshot stream, calling apply for every
-// entry. Any corruption — bad magic, failed CRC, torn record — fails the
-// whole read; see the package comment for why snapshots are all-or-nothing.
+// record, and returns the number of entry records (metadata records — scale,
+// position — reach apply but are not counted). Any corruption — bad magic,
+// failed CRC, torn record — fails the whole read; see the package comment
+// for why snapshots are all-or-nothing.
+// The set of record kinds is gated by the file's version: a v1 snapshot is
+// read exactly as the v1 code did (KindSet only), a v2 snapshot may also
+// carry KindSetPrio entries plus KindScale and KindPosition records (which
+// apply sees but which mutate no entry data).
 func ReadSnapshot(r io.Reader, apply func(Op) error) (int, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return 0, fmt.Errorf("persist: read snapshot: %w", err)
 	}
-	if _, err := checkFileHeader(data, snapshotMagic, SnapshotVersion, "snapshot"); err != nil {
+	version, err := checkFileHeader(data, snapshotMagic, SnapshotVersion, "snapshot")
+	if err != nil {
 		return 0, err
 	}
 	data = data[fileHeaderLen:]
-	n := 0
+	entries, rec := 0, 0
 	for len(data) > 0 {
 		op, used, err := DecodeRecord(data)
 		if err != nil {
 			if errors.Is(err, ErrShortRecord) {
 				err = fmt.Errorf("%w: snapshot ends mid-record", ErrCorruptRecord)
 			}
-			return n, fmt.Errorf("snapshot record %d: %w", n, err)
+			return entries, fmt.Errorf("snapshot record %d: %w", rec, err)
 		}
-		if op.Kind != KindSet {
-			return n, fmt.Errorf("snapshot record %d: %w: kind %d", n, ErrCorruptRecord, op.Kind)
+		switch op.Kind {
+		case KindSet:
+		case KindSetPrio, KindPosition, KindScale:
+			if version < snapshotV2 {
+				return entries, fmt.Errorf("snapshot record %d: %w: kind %d in a v%d snapshot",
+					rec, ErrCorruptRecord, op.Kind, version)
+			}
+		default:
+			return entries, fmt.Errorf("snapshot record %d: %w: kind %d", rec, ErrCorruptRecord, op.Kind)
 		}
 		if err := apply(op); err != nil {
-			return n, err
+			return entries, err
 		}
 		data = data[used:]
-		n++
+		rec++
+		if op.Kind == KindSet || op.Kind == KindSetPrio {
+			entries++
+		}
 	}
-	return n, nil
+	return entries, nil
 }
 
 // WriteSnapshotFile writes a snapshot atomically: into a temp file in the

@@ -7,13 +7,18 @@ import (
 	"io/fs"
 	"os"
 
+	"camp/internal/cache"
 	"camp/internal/persist"
 )
 
 // WriteSnapshot serializes every cached entry — key, value, charged size and
-// recomputation cost — to w in the internal/persist snapshot format. Shards
-// are locked one at a time, so concurrent writers may land between shards;
-// the result is a consistent warm-start image, not a point-in-time fence.
+// recomputation cost — to w in the internal/persist snapshot format (v2).
+// Entries are written in eviction order, and for the priority policies
+// (CAMP, GDS) each record carries the entry's exact priority offset, so a
+// warm start reproduces the live eviction schedule exactly — cross-queue,
+// even after eviction churn. Shards are locked one at a time, so concurrent
+// writers may land between shards; the result is a consistent warm-start
+// image, not a point-in-time fence.
 func (c *Cache) WriteSnapshot(w io.Writer) error {
 	sw, err := persist.NewSnapshotWriter(w)
 	if err != nil {
@@ -25,28 +30,65 @@ func (c *Cache) WriteSnapshot(w io.Writer) error {
 	return sw.Flush()
 }
 
-// emitEntries streams every cached entry to write, one shard at a time.
+// emitEntries streams every cached entry to write, one shard at a time, each
+// shard in eviction order (next victim first) with priority offsets when the
+// policy exports them.
 func (c *Cache) emitEntries(write func(persist.Op) error) error {
 	for _, s := range c.shards {
 		s.mu.Lock()
+		err := s.emitLocked(write)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitLocked writes one shard's entries. The caller holds s.mu.
+func (s *shard) emitLocked(write func(persist.Op) error) error {
+	var err error
+	emit := func(e Entry, prio, class uint64, kind persist.Kind) bool {
+		err = write(persist.Op{
+			Kind:     kind,
+			Key:      e.Key,
+			Value:    s.values[e.Key],
+			Size:     e.Size,
+			Cost:     e.Cost,
+			Priority: prio,
+			Class:    class,
+		})
+		return err == nil
+	}
+	switch p := s.policy.(type) {
+	case cache.PriorityOrdered:
+		// The adaptive scale first, so a replay buckets later Sets with
+		// the live workload's learned state.
+		if ps, ok := s.policy.(cache.PriorityScaled); ok {
+			if err := write(persist.Op{Kind: persist.KindScale, Scale: ps.PriorityScale()}); err != nil {
+				return err
+			}
+		}
+		p.VisitEvictionPriority(func(e Entry, prio, class uint64) bool {
+			return emit(e, prio, class, persist.KindSetPrio)
+		})
+	case cache.EvictionOrdered:
+		p.VisitEvictionOrder(func(e Entry) bool {
+			return emit(e, 0, 0, persist.KindSet)
+		})
+	default:
+		// No enumerable order; map order still round-trips every entry.
 		for key, value := range s.values {
 			meta, ok := s.policy.Peek(key)
 			if !ok {
 				continue
 			}
-			if err := write(persist.Op{
-				Key:   key,
-				Value: value,
-				Size:  meta.Size,
-				Cost:  meta.Cost,
-			}); err != nil {
-				s.mu.Unlock()
+			if err = write(persist.Op{Key: key, Value: value, Size: meta.Size, Cost: meta.Cost}); err != nil {
 				return err
 			}
 		}
-		s.mu.Unlock()
 	}
-	return nil
+	return err
 }
 
 // SaveSnapshot atomically writes a snapshot to the path configured with
@@ -66,18 +108,65 @@ func (c *Cache) SaveSnapshotTo(path string) (int, error) {
 
 // LoadSnapshot reads a snapshot stream and re-admits its entries through the
 // configured eviction policy, rebuilding queue/heap state with the original
-// costs. It returns how many entries the policy admitted. A corrupt or
+// costs — and, from a v2 snapshot into a priority policy, the original
+// priority offsets, so the restored eviction schedule matches the saved one
+// exactly. It returns how many entries the policy admitted. A corrupt or
 // newer-versioned snapshot is refused with an error and no further entries
 // are applied.
 func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 	admitted := 0
 	_, err := persist.ReadSnapshot(r, func(op persist.Op) error {
-		if c.SetSized(op.Key, op.Value, op.Size, op.Cost) {
+		switch op.Kind {
+		case persist.KindPosition:
+			return nil // server-side replication bookkeeping; not an entry
+		case persist.KindScale:
+			// Shard routing is seeded per process, so the scale cannot be
+			// re-aimed at the shard that wrote it; it only widens, so
+			// every shard absorbing every scale record is safe (and exact
+			// for the single-shard default).
+			for _, s := range c.shards {
+				s.mu.Lock()
+				if ps, ok := s.policy.(cache.PriorityScaled); ok {
+					ps.RestorePriorityScale(op.Scale)
+				}
+				s.mu.Unlock()
+			}
+			return nil
+		}
+		if c.setFromSnapshot(op) {
 			admitted++
 		}
 		return nil
 	})
 	return admitted, err
+}
+
+// setFromSnapshot is SetSized with the snapshot's recorded priority pinned
+// when both the record and the policy carry one.
+func (c *Cache) setFromSnapshot(op persist.Op) bool {
+	cost := op.Cost
+	if cost <= 0 {
+		cost = c.defCost
+	}
+	s := c.shardFor(op.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ok bool
+	if po, isPrio := s.policy.(cache.PriorityOrdered); isPrio && op.Kind == persist.KindSetPrio {
+		ok = po.SetWithPriority(op.Key, op.Size, cost, op.Priority, op.Class)
+	} else {
+		ok = s.policy.Set(op.Key, op.Size, cost)
+	}
+	if !ok {
+		// The policy may have dropped a previous version of the entry on a
+		// failed re-admit; keep the value map in sync (as SetSized does).
+		if !s.policy.Contains(op.Key) {
+			delete(s.values, op.Key)
+		}
+		return false
+	}
+	s.values[op.Key] = op.Value
+	return true
 }
 
 // loadSnapshotFile warm-starts the cache from path at construction time. A

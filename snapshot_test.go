@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"camp/internal/cache"
 )
 
 func TestCacheSnapshotRoundTrip(t *testing.T) {
@@ -196,6 +198,71 @@ func TestSetSizedRejectedReadmitKeepsSync(t *testing.T) {
 			}
 			if v, ok := c.Get("victim"); !ok || string(v) != "fresh" {
 				t.Fatalf("post-rejection set: %q, %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestCacheSnapshotMidChurnExactOrder pins the v2 exactness claim at the
+// library surface: a single-shard cache driven through eviction churn (so
+// CAMP's priority offsets are non-uniform), snapshotted mid-churn, and
+// reloaded into a fresh cache must present the identical eviction schedule —
+// the restored policy drains in exactly the saved order — and the identical
+// future behavior on a shared suffix of operations.
+func TestCacheSnapshotMidChurnExactOrder(t *testing.T) {
+	for _, kind := range []PolicyKind{CAMP, GDS, LRU} {
+		t.Run(kind.String(), func(t *testing.T) {
+			mk := func() *Cache {
+				c, err := New(24<<10, WithPolicy(kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			c1 := mk()
+			costs := []int64{1, 1, 40, 40, 900, 20000}
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("key-%03d", (i*7)%500)
+				if i%4 == 0 {
+					c1.Get(key)
+				} else {
+					c1.Set(key, make([]byte, 80), costs[(i*13)%len(costs)])
+				}
+			}
+			if c1.Stats().Evictions == 0 {
+				t.Fatal("no evictions — the mid-churn property is vacuous")
+			}
+			var buf bytes.Buffer
+			if err := c1.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			c2 := mk()
+			if _, err := c2.LoadSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if c2.Len() != c1.Len() {
+				t.Fatalf("restored %d entries, want %d", c2.Len(), c1.Len())
+			}
+			order := func(c *Cache) []string {
+				s := c.shards[0]
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				var keys []string
+				s.policy.(cache.EvictionOrdered).VisitEvictionOrder(func(e Entry) bool {
+					keys = append(keys, e.Key)
+					return true
+				})
+				return keys
+			}
+			want, got := order(c1), order(c2)
+			if len(want) != len(got) {
+				t.Fatalf("restored order has %d entries, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("eviction order diverges at %d/%d: restored %q, saved %q",
+						i, len(want), got[i], want[i])
+				}
 			}
 		})
 	}
