@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
 # The checked-in allocs/op budget for the protocol hot path. The PR 2
 # baseline was 161 allocs per 20-op batch; the zero-allocation protocol
@@ -14,7 +14,7 @@ ALLOCS_BUDGET ?= 48
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: verify fmt vet build test race race-all fuzz fuzz-smoke bench alloc-gate
+.PHONY: verify fmt vet build test race race-all fuzz fuzz-smoke bench alloc-gate metrics-gate
 
 verify: fmt vet build test race
 
@@ -66,6 +66,13 @@ alloc-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerOps/shards=1$$' -benchmem -benchtime 2s ./internal/kvserver/ | tee .allocgate.tmp.txt
 	$(GO) run ./cmd/benchfmt -gate 'BenchmarkServerOps/shards=1' -max-allocs $(ALLOCS_BUDGET) .allocgate.tmp.txt > /dev/null
 	@rm -f .allocgate.tmp.txt
+
+# Fail if a live /metrics scrape stops being valid Prometheus exposition
+# text or loses a required family (latency histograms, shard gauges,
+# replication-lag gauges), or if the pprof endpoints stop serving. Runs the
+# same end-to-end scrape test CI does.
+metrics-gate:
+	$(GO) test -run 'TestMetricsGate|TestMetricsStressRace' -count=1 ./internal/kvserver/
 
 # Short fuzz pass over the binary decoders (journal records, the v2
 # snapshot reader, position records, the replication stream, the sync

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,12 +39,24 @@ type Result struct {
 
 // Report is the committed JSON document.
 type Report struct {
-	Go         string   `json:"go"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	CPUs       int      `json:"cpus"`
-	Note       string   `json:"note,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Go         string          `json:"go"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	CPUs       int             `json:"cpus"`
+	Note       string          `json:"note,omitempty"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Latency    []LatencyResult `json:"latency,omitempty"`
+}
+
+// LatencyResult is one benchmark's per-verb server-side latency summary,
+// lifted from p50_<verb>_us / p95_<verb>_us / p99_<verb>_us metrics the
+// server-facing benchmarks report (see BenchmarkServerOps).
+type LatencyResult struct {
+	Bench string  `json:"bench"`
+	Verb  string  `json:"verb"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
 }
 
 func main() {
@@ -95,6 +108,7 @@ func run() error {
 		CPUs:       runtime.NumCPU(),
 		Note:       *note,
 		Benchmarks: results,
+		Latency:    liftLatency(results),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -127,6 +141,50 @@ func gateAllocs(results []Result, name string, budget float64) error {
 		return nil
 	}
 	return fmt.Errorf("gate %s: benchmark not found in input", name)
+}
+
+// liftLatency collects p50_<verb>_us / p95_<verb>_us / p99_<verb>_us
+// metrics into the report's latency section, one entry per (benchmark,
+// verb), in input order.
+func liftLatency(results []Result) []LatencyResult {
+	var out []LatencyResult
+	index := make(map[string]int) // "bench\x00verb" -> out index
+	for _, r := range results {
+		for unit, v := range r.Metrics {
+			q, rest, ok := strings.Cut(unit, "_")
+			if !ok || (q != "p50" && q != "p95" && q != "p99") {
+				continue
+			}
+			verb, found := strings.CutSuffix(rest, "_us")
+			if !found || verb == "" {
+				continue
+			}
+			key := r.Name + "\x00" + verb
+			i, seen := index[key]
+			if !seen {
+				i = len(out)
+				index[key] = i
+				out = append(out, LatencyResult{Bench: r.Name, Verb: verb})
+			}
+			switch q {
+			case "p50":
+				out[i].P50us = v
+			case "p95":
+				out[i].P95us = v
+			case "p99":
+				out[i].P99us = v
+			}
+		}
+	}
+	// Metrics is a map, so first-seen order is not deterministic; sort so
+	// committed reports diff cleanly.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Verb < out[j].Verb
+	})
+	return out
 }
 
 // parse extracts benchmark result lines:

@@ -60,6 +60,9 @@ func run() error {
 
 		replicaOf = flag.String("replica-of", "", "start as a read-only replica of the primary at this address (shard counts must match; promote with the 'replica promote' command)")
 
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics and pprof at /debug/pprof/ (empty = off)")
+		slowlogMS   = flag.Int64("slowlog-threshold", 10, "slowlog threshold in milliseconds (0 records every command, negative disables; adjustable at runtime with 'slowlog threshold <ms>')")
+
 		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
 		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
 		fsync    = flag.String("fsync", persist.FsyncEverySec, "AOF sync policy: always, everysec or no")
@@ -84,6 +87,15 @@ func run() error {
 		Precision:   *precision,
 		DisableIQ:   *noIQ,
 		ReplicaOf:   *replicaOf,
+		MetricsAddr: *metricsAddr,
+	}
+	switch {
+	case *slowlogMS < 0:
+		cfg.SlowlogThreshold = -1 // disabled
+	case *slowlogMS == 0:
+		cfg.SlowlogThreshold = 1 // smallest enabled threshold: records everything over 1ns
+	default:
+		cfg.SlowlogThreshold = time.Duration(*slowlogMS) * time.Millisecond
 	}
 	if *dataDir != "" {
 		p := &kvserver.PersistConfig{
@@ -112,6 +124,9 @@ func run() error {
 		srv.Addr(), *policy, *mode, bytes, *shards)
 	if *replicaOf != "" {
 		fmt.Printf("campsrv: read-only replica of %s (promote with 'replica promote')\n", *replicaOf)
+	}
+	if *metricsAddr != "" {
+		fmt.Printf("campsrv: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.MetricsAddr())
 	}
 	if *dataDir != "" {
 		fmt.Printf("campsrv: persistence in %s (aof=%v fsync=%s), recovered in %v\n",

@@ -119,4 +119,24 @@ func benchServerOps(b *testing.B, shards int) {
 	})
 	opsPerIter := float64(benchBatchGets + benchBatchSets)
 	b.ReportMetric(opsPerIter*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.StopTimer()
+	// Server-side latency quantiles for the run, from the per-verb
+	// histograms the server kept while the benchmark hammered it. benchfmt
+	// lifts the p50/p95/p99 metrics into the committed report's latency
+	// section.
+	lc, err := kvclient.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	lat, err := lc.StatsLatency()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, verb := range []string{"get", "set"} {
+		ls := lat[verb]
+		b.ReportMetric(float64(ls.P50.Microseconds()), "p50_"+verb+"_us")
+		b.ReportMetric(float64(ls.P95.Microseconds()), "p95_"+verb+"_us")
+		b.ReportMetric(float64(ls.P99.Microseconds()), "p99_"+verb+"_us")
+	}
 }

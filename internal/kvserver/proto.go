@@ -34,6 +34,14 @@ type connState struct {
 	tokens [][]byte
 	hits   []*item
 	out    []byte
+
+	// Instrumentation scratch dispatch fills per command: the shard the
+	// command routed to (-1 when none) so its latency histogram can be
+	// charged after the handler returns, and a copy of the key token —
+	// taken before a payload read invalidates the tokens — for slowlog
+	// recording. Reused across commands, so neither allocates.
+	shardIdx int
+	slowKey  []byte
 }
 
 var connStatePool = sync.Pool{

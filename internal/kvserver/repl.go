@@ -40,13 +40,79 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"camp/internal/persist"
 	"camp/internal/proto"
 )
+
+// feedStat tracks one live sync feed's stream position for the
+// replication-lag gauges. gen and off are atomics: the feed goroutine
+// stores them per journal event while scrapes load them.
+type feedStat struct {
+	shard int
+	seq   uint64
+	label string // seq preformatted for the Prometheus feed label
+	gen   atomic.Uint64
+	off   atomic.Int64
+}
+
+// registerFeed adds a live feed for shard. The sequence number is unique
+// for the server's lifetime, so a reconnecting follower appears as a new
+// series instead of silently aliasing the old one.
+func (s *Server) registerFeed(shard int) *feedStat {
+	s.feedMu.Lock()
+	s.feedSeq++
+	f := &feedStat{shard: shard, seq: s.feedSeq, label: strconv.FormatUint(s.feedSeq, 10)}
+	s.feeds[f] = struct{}{}
+	s.feedMu.Unlock()
+	return f
+}
+
+func (s *Server) unregisterFeed(f *feedStat) {
+	s.feedMu.Lock()
+	delete(s.feeds, f)
+	s.feedMu.Unlock()
+}
+
+// eachFeed visits the live feeds in registration order (stable scrape
+// output) without holding feedMu during the callbacks.
+func (s *Server) eachFeed(fn func(*feedStat)) {
+	s.feedMu.Lock()
+	feeds := make([]*feedStat, 0, len(s.feeds))
+	for f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	s.feedMu.Unlock()
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].seq < feeds[j].seq })
+	for _, f := range feeds {
+		fn(f)
+	}
+}
+
+// feedLagBytes estimates how far a feed trails its shard's journal head.
+// Within the head generation it is exact; a feed still draining an older
+// generation reports the whole head segment (a lower bound — the retired
+// segments' remainders aren't tracked), which is the honest signal that it
+// is at least a compaction behind.
+func (s *Server) feedLagBytes(f *feedStat) int64 {
+	mgr := s.shards[f.shard].mgr
+	if mgr == nil {
+		return 0
+	}
+	info := mgr.Info()
+	if f.gen.Load() == info.Generation {
+		if lag := info.AOFSize - f.off.Load(); lag > 0 {
+			return lag
+		}
+		return 0
+	}
+	return info.AOFSize
+}
 
 const (
 	// replTailPoll is how long the primary's feed waits for new journal
@@ -254,7 +320,9 @@ func (s *Server) handleSync(args [][]byte, cs *connState) error {
 	s.counters.replSyncsServed.Add(1)
 	s.replFeeds.Add(1)
 	defer s.replFeeds.Add(-1)
-	err := s.streamJournal(tr, w, announce)
+	feed := s.registerFeed(idx)
+	defer s.unregisterFeed(feed)
+	err := s.streamJournal(tr, w, announce, feed)
 	if err != nil && !errors.Is(err, persist.ErrClosed) {
 		s.logf("kvserver: sync feed shard %d ended: %v", idx, err)
 	}
@@ -265,13 +333,15 @@ func (s *Server) handleSync(args [][]byte, cs *connState) error {
 // flushing whenever the journal has nothing ready and pinging while it stays
 // idle. Returns when the write side fails (follower gone), the manager
 // closes, or the journal is corrupt.
-func (s *Server) streamJournal(tr *persist.TailReader, w *bufio.Writer, announce bool) error {
+func (s *Server) streamJournal(tr *persist.TailReader, w *bufio.Writer, announce bool, feed *feedStat) error {
 	sw := persist.NewStreamWriter(w)
 	if announce {
 		if err := sw.GenSwitch(tr.Gen()); err != nil {
 			return err
 		}
 	}
+	feed.gen.Store(tr.Gen())
+	feed.off.Store(tr.Off())
 	for {
 		ev, err := tr.Next(0)
 		if errors.Is(err, persist.ErrTailTimeout) {
@@ -300,6 +370,10 @@ func (s *Server) streamJournal(tr *persist.TailReader, w *bufio.Writer, announce
 		if err != nil {
 			return err
 		}
+		// The TailReader already advanced past the event; publish the new
+		// position for the lag gauges (two atomic stores, same goroutine).
+		feed.gen.Store(tr.Gen())
+		feed.off.Store(tr.Off())
 	}
 }
 
@@ -457,6 +531,11 @@ type shardReplica struct {
 	// the scratch for the op+position journal writes.
 	staleStreak int
 	batch       []persist.Op
+
+	// lastFrame is the wall clock (unix nanos) of the newest frame — record,
+	// generation switch or ping — this stream delivered; 0 before the first
+	// connect. Atomic so the lag gauge reads it without the state mutex.
+	lastFrame atomic.Int64
 }
 
 func (sr *shardReplica) pos() (gen uint64, off int64, runID uint64) {
@@ -534,6 +613,14 @@ func (sr *shardReplica) appendStatus(out []byte) []byte {
 	out = appendStat(out, prefix+"full_syncs", sr.fullSyncs)
 	out = appendStat(out, prefix+"reconnects", sr.reconnects)
 	out = appendStat(out, prefix+"applied_ops", sr.applied)
+	// Staleness: time since the stream last delivered a frame or ping
+	// (the primary pings every second while idle, so a healthy stream
+	// stays near zero). -1 before the first successful handshake.
+	ageMS := int64(-1)
+	if last := sr.lastFrame.Load(); last != 0 {
+		ageMS = time.Since(time.Unix(0, last)).Milliseconds()
+	}
+	out = appendStatInt(out, prefix+"last_frame_age_ms", ageMS)
 	return out
 }
 
@@ -650,6 +737,9 @@ func (sr *shardReplica) syncOnce() (progressed bool, err error) {
 		sr.staleStreak = 0
 	}
 	sr.setConnected(true)
+	// The handshake reply counts as liveness: the lag clock starts now, not
+	// at the first frame.
+	sr.lastFrame.Store(time.Now().UnixNano())
 
 	// Registered only now — after the handshake succeeded — so dial and
 	// handshake failures (a briefly unreachable primary) never count toward
@@ -669,6 +759,7 @@ func (sr *shardReplica) syncOnce() (progressed bool, err error) {
 		if err != nil {
 			return frames > 0, err
 		}
+		sr.lastFrame.Store(time.Now().UnixNano())
 		switch frame.Kind {
 		case persist.FrameRecord:
 			gen, off, _ := sr.pos()

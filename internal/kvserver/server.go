@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -103,6 +104,15 @@ type Config struct {
 	// journaled per shard to an append-only log and the store warm-restarts
 	// from each shard's newest snapshot plus journal tail, costs included.
 	Persist *PersistConfig
+	// MetricsAddr, when non-empty, starts an HTTP listener on this address
+	// serving Prometheus text exposition at /metrics and the net/http/pprof
+	// profiling handlers under /debug/pprof/. The listener is private to
+	// this server (its own mux, not http.DefaultServeMux) and stops with it.
+	MetricsAddr string
+	// SlowlogThreshold is the command duration at or above which the
+	// slowlog records a command (default 10ms; negative disables the
+	// slowlog). Adjustable at runtime with "slowlog threshold <ms>".
+	SlowlogThreshold time.Duration
 	// ReplicaOf, when non-empty, starts the server as a read-only replica of
 	// the primary listening at this address: one replication goroutine per
 	// shard bootstraps from the primary's snapshot + journal and then tails
@@ -146,6 +156,19 @@ type Server struct {
 
 	shards   []*shard
 	counters counters
+
+	// Instrumentation: per-verb histograms, slowlog and the Prometheus
+	// registry (metrics.go); started anchors the uptime stat; metricsLn and
+	// metricsSrv are the optional -metrics-addr HTTP endpoint (http.go).
+	started    time.Time
+	metrics    srvMetrics
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+
+	// Live sync-feed stream positions, for the replication-lag gauges.
+	feedMu  sync.Mutex
+	feeds   map[*feedStat]struct{}
+	feedSeq uint64
 
 	recovered persist.RecoverStats
 	rootLock  *persist.DirLock
@@ -195,8 +218,15 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxValueBytes = 8 << 20
 	}
 	s := &Server{
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
+		cfg:     cfg,
+		conns:   make(map[net.Conn]struct{}),
+		feeds:   make(map[*feedStat]struct{}),
+		started: time.Now(),
+	}
+	if th := cfg.SlowlogThreshold; th != 0 {
+		s.metrics.slowlog.SetThreshold(th)
+	} else {
+		s.metrics.slowlog.SetThreshold(DefaultSlowlogThreshold)
 	}
 	// Capacity splits evenly; shard 0 absorbs the remainder, as the root
 	// camp.Cache's sharding does.
@@ -237,6 +267,7 @@ func New(cfg Config) (*Server, error) {
 		s.readOnly.Store(true)
 		s.repl = newReplicaSession(s, cfg.ReplicaOf)
 	}
+	s.buildRegistry()
 	return s, nil
 }
 
@@ -257,6 +288,13 @@ func (s *Server) Start() error {
 		return fmt.Errorf("kvserver: listen: %w", err)
 	}
 	s.ln = ln
+	if s.cfg.MetricsAddr != "" {
+		if err := s.startMetricsHTTP(s.cfg.MetricsAddr); err != nil {
+			ln.Close()
+			s.ln = nil
+			return err
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if s.repl != nil {
@@ -387,6 +425,9 @@ func (s *Server) stopNetwork() (err error, wasOpen bool) {
 	if s.stopBg != nil {
 		close(s.stopBg)
 	}
+	if s.metricsSrv != nil {
+		s.metricsSrv.Close()
+	}
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
@@ -401,17 +442,40 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		// One wrapper allocation per connection (not per op) buys the
+		// bytes_read/bytes_written stats for every byte that crosses the
+		// socket, replication feeds included.
+		counted := &countedConn{Conn: conn, srv: s}
 		s.connMu.Lock()
 		if s.closed {
 			s.connMu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[counted] = struct{}{}
 		s.connMu.Unlock()
+		s.counters.totalConns.Add(1)
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		go s.serveConn(counted)
 	}
+}
+
+// countedConn charges socket traffic to the server-wide byte counters.
+type countedConn struct {
+	net.Conn
+	srv *Server
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.srv.counters.bytesRead.Add(uint64(n))
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.srv.counters.bytesWritten.Add(uint64(n))
+	return n, err
 }
 
 // errCloseConn makes a handler close the connection after its reply has been
@@ -422,7 +486,9 @@ var errCloseConn = errors.New("kvserver: close connection")
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.counters.currConns.Add(1)
 	defer func() {
+		s.counters.currConns.Add(-1)
 		s.connMu.Lock()
 		delete(s.conns, conn)
 		s.connMu.Unlock()
@@ -455,9 +521,13 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // dispatch handles one command line; it returns quit=true for "quit" and a
-// non-nil error when the connection must close. The tokens alias the read
-// buffer, so handlers extract everything they need before touching the
-// reader again.
+// non-nil error when the connection must close. It wraps dispatchCmd with
+// the latency instrumentation: verb resolution, a key copy into pooled
+// scratch (the tokens alias the read buffer, which a payload read
+// invalidates), and — after the handler returns — per-verb and per-shard
+// histogram observations plus the slowlog threshold check. All of it is
+// atomic adds and a memcpy into reused scratch, so the request loop stays
+// allocation-free.
 func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
 	cs.tokens = proto.Tokenize(line, cs.tokens[:0])
 	toks := cs.tokens
@@ -465,6 +535,24 @@ func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
 		_, err := cs.w.Write(replyError)
 		return false, err
 	}
+	v := verbOf(toks[0])
+	if v == verbNone {
+		return s.dispatchCmd(toks, cs)
+	}
+	cs.shardIdx = -1
+	if len(toks) > 1 {
+		cs.slowKey = append(cs.slowKey[:0], toks[1]...)
+	} else {
+		cs.slowKey = cs.slowKey[:0]
+	}
+	start := time.Now()
+	quit, fatal = s.dispatchCmd(toks, cs)
+	s.observe(v, cs.shardIdx, cs.slowKey, time.Since(start), start)
+	return quit, fatal
+}
+
+// dispatchCmd routes one tokenized command to its handler.
+func (s *Server) dispatchCmd(toks [][]byte, cs *connState) (quit bool, fatal error) {
 	switch string(toks[0]) {
 	case "get", "gets":
 		return false, s.handleGet(toks[1:], cs)
@@ -487,7 +575,9 @@ func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
 	case "delete":
 		return false, s.handleDelete(toks[1:], cs)
 	case "stats":
-		return false, s.handleStats(cs)
+		return false, s.handleStats(toks[1:], cs)
+	case "slowlog":
+		return false, s.handleSlowlog(toks[1:], cs)
 	case "flush_all":
 		if rejected, err := s.rejectReadOnly(cs, false); rejected || err != nil {
 			return false, err
@@ -554,8 +644,10 @@ func (s *Server) handleGet(keys [][]byte, cs *connState) error {
 		return err
 	}
 	// One cmd_get per command, as memcached counts it; hits and misses stay
-	// per-key.
+	// per-key. A multiget charges the first key's shard, one histogram
+	// observation per command.
 	s.counters.cmdGet.Add(1)
+	cs.shardIdx = shardIndex(keys[0], len(s.shards))
 	hits := cs.hits[:0]
 	now := time.Now()
 	for _, k := range keys {
@@ -695,10 +787,12 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 
 	now := time.Now()
 	s.counters.storeCounter(cmd).Add(1)
-	sh := s.shardFor(key)
+	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
+	lockStart := time.Now()
 	reply := sh.storeLocked(cmd, key, value, flags, ttl, cost, now)
 	sh.mu.Unlock()
+	sh.lockHist.Observe(time.Since(lockStart))
 
 	if noreply {
 		return nil
@@ -815,10 +909,12 @@ func (s *Server) handleArith(incr bool, args [][]byte, cs *connState) error {
 	} else {
 		s.counters.cmdDecr.Add(1)
 	}
-	sh := s.shardFor(key)
+	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
+	lockStart := time.Now()
 	val, reply := sh.arithLocked(incr, key, delta, now)
 	sh.mu.Unlock()
+	sh.lockHist.Observe(time.Since(lockStart))
 	if noreply {
 		return nil
 	}
@@ -862,7 +958,7 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 	key := string(args[0])
 	now := time.Now()
 	s.counters.cmdTouch.Add(1)
-	sh := s.shardFor(key)
+	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
 	it, found := sh.store.get(key, now)
 	if found {
@@ -904,13 +1000,15 @@ func (s *Server) handleDelete(args [][]byte, cs *connState) error {
 	}
 	key := string(args[0])
 	s.counters.cmdDelete.Add(1)
-	sh := s.shardFor(key)
+	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
+	lockStart := time.Now()
 	ok := sh.store.delete(key)
 	if ok {
 		sh.journalLocked(persist.Op{Kind: persist.KindDelete, Key: key})
 	}
 	sh.mu.Unlock()
+	sh.lockHist.Observe(time.Since(lockStart))
 	if noreply {
 		return nil
 	}
@@ -922,8 +1020,27 @@ func (s *Server) handleDelete(args [][]byte, cs *connState) error {
 	return err
 }
 
-func (s *Server) handleStats(cs *connState) error {
+func (s *Server) handleStats(args [][]byte, cs *connState) error {
+	if len(args) > 0 {
+		switch string(args[0]) {
+		case "latency":
+			return s.handleStatsLatency(cs)
+		case "shards":
+			return s.handleStatsShards(cs)
+		default:
+			_, err := cs.w.Write(replyBadStats)
+			return err
+		}
+	}
 	out := cs.out[:0]
+	// Identity and connection stats first, as memcached orders them.
+	out = appendStatInt(out, "uptime", int64(time.Since(s.started)/time.Second))
+	out = appendStatStr(out, "version", serverVersion)
+	out = appendStatInt(out, "pointer_size", strconv.IntSize)
+	out = appendStatInt(out, "curr_connections", s.counters.currConns.Load())
+	out = appendStat(out, "total_connections", s.counters.totalConns.Load())
+	out = appendStat(out, "bytes_read", s.counters.bytesRead.Load())
+	out = appendStat(out, "bytes_written", s.counters.bytesWritten.Load())
 	for _, l := range s.counters.lines() {
 		out = appendStat(out, l.key, l.val)
 	}
@@ -935,6 +1052,7 @@ func (s *Server) handleStats(cs *connState) error {
 		evictions uint64
 		rejected  uint64
 		reclaimed uint64
+		missTable int
 		queues    = -1
 	)
 	for _, sh := range s.shards {
@@ -944,6 +1062,7 @@ func (s *Server) handleStats(cs *connState) error {
 		evictions += sh.store.evictions()
 		rejected += sh.store.rejected()
 		reclaimed += sh.store.reclaimed()
+		missTable += len(sh.missedAt)
 		if qc := sh.store.queueCount(); qc >= 0 {
 			if queues < 0 {
 				queues = 0
@@ -959,6 +1078,9 @@ func (s *Server) handleStats(cs *connState) error {
 	// Expired items reclaimed lazily: on access plus the incremental sweep
 	// the mutation path runs.
 	out = appendStat(out, "expired_reclaimed", reclaimed)
+	// Pending IQ miss-table entries: get misses still waiting for the set
+	// that would turn the elapsed time into a cost.
+	out = appendStatInt(out, "iq_miss_table_entries", int64(missTable))
 	out = appendStatStr(out, "policy", s.shards[0].store.policyName())
 	out = appendStatStr(out, "mode", s.cfg.Mode)
 	out = appendStatInt(out, "shards", int64(len(s.shards)))

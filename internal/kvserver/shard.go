@@ -6,8 +6,13 @@ import (
 	"sync"
 	"time"
 
+	"camp/internal/metrics"
 	"camp/internal/persist"
 )
+
+// serverVersion is the identity the version command and the stats
+// version line report.
+const serverVersion = "camp-kvs/1.0"
 
 // Protocol replies as byte slices: handlers write them straight to the
 // connection buffer, so the steady-state reply path performs no formatting
@@ -21,7 +26,7 @@ var (
 	replyOK           = []byte("OK\r\n")
 	replyEnd          = []byte("END\r\n")
 	replyError        = []byte("ERROR\r\n")
-	replyVersion      = []byte("VERSION camp-kvs/1.0\r\n")
+	replyVersion      = []byte("VERSION " + serverVersion + "\r\n")
 	replyOOM          = []byte("SERVER_ERROR out of memory storing object\r\n")
 	replyTooLarge     = []byte("SERVER_ERROR object too large for cache\r\n")
 	replyBadDataChunk = []byte("CLIENT_ERROR bad data chunk\r\n")
@@ -115,6 +120,13 @@ type shard struct {
 	// compactor vs. forced Snapshot/flush_all). It is never taken on the
 	// request path.
 	compactMu sync.Mutex
+
+	// latHist times every command routed to this shard; lockHist samples
+	// how long the mutation path holds mu. Embedded (not pointers) and
+	// atomic inside, so recording is two adds with no indirection and
+	// scrapes never touch mu.
+	latHist  metrics.Histogram
+	lockHist metrics.Histogram
 }
 
 // shardIndex routes a key to its shard with FNV-1a, accepting the key in
@@ -140,6 +152,15 @@ func shardIndex[K ~string | ~[]byte](key K, n int) int {
 
 func (s *Server) shardFor(key string) *shard {
 	return s.shards[shardIndex(key, len(s.shards))]
+}
+
+// shardForOp routes a key and records the shard index in the connection
+// scratch, so dispatch can charge the command to the shard's latency
+// histogram after the handler returns.
+func (s *Server) shardForOp(key string, cs *connState) *shard {
+	i := shardIndex(key, len(s.shards))
+	cs.shardIdx = i
+	return s.shards[i]
 }
 
 func (s *Server) shardForBytes(key []byte) *shard {

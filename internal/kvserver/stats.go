@@ -13,6 +13,11 @@ type counters struct {
 	setRejected                                               atomic.Uint64
 	persistErrors, persistSnapshots                           atomic.Uint64
 	replSyncsServed, replFullSyncsServed, replAppliedOps      atomic.Uint64
+
+	// Connection and socket accounting (memcached's standard identity
+	// stats). currConns is signed: it decrements on close.
+	currConns                           atomic.Int64
+	totalConns, bytesRead, bytesWritten atomic.Uint64
 }
 
 // storeCounter maps a storage verb to its counter. Unknown verbs never

@@ -1,0 +1,125 @@
+// Package metrics is the server's zero-allocation instrumentation layer:
+// log-bucketed fixed-size latency histograms with atomic buckets, a
+// ring-buffer slowlog, and a small registry that renders everything as
+// Prometheus text exposition format.
+//
+// The recording paths (Histogram.Observe, Slowlog.Slow) are allocation-free
+// and lock-free, so they can sit on the kvserver request loop without
+// moving the alloc-gate budget: an observation is two atomic adds, and the
+// slowlog's threshold check is one atomic load. Only scrapes — stats
+// commands and /metrics — take locks or allocate, and they copy the atomic
+// state out bucket by bucket, so a concurrent scrape can lag the counters
+// but never observes a torn or negative value.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed histogram size. Bucket i counts observations with
+// d <= BucketBound(i); the last bucket is the +Inf overflow. With a 256ns
+// first bound and power-of-two growth the range runs to ~4.5 minutes, which
+// covers everything a cache server can plausibly do to a request.
+const NumBuckets = 32
+
+// BucketBound returns bucket i's inclusive upper bound. The last bucket's
+// bound is effectively +Inf; callers exporting cumulative buckets should
+// render it that way.
+func BucketBound(i int) time.Duration {
+	return time.Duration(256) << uint(i)
+}
+
+// bucketIndex maps a duration to its bucket: 256ns log2 buckets, clamped at
+// both ends.
+func bucketIndex(d time.Duration) int {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	// Observations at exactly a bound belong to that bucket (d <= bound), so
+	// index on (ns-1)>>8: 256ns lands in bucket 0, 257ns in bucket 1.
+	idx := bits.Len64(uint64(ns-1) >> 8)
+	if ns == 0 {
+		idx = 0
+	}
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// Histogram is a fixed-size log-bucketed latency histogram. The zero value
+// is ready to use; all methods are safe for concurrent use. Observe is two
+// atomic adds: no allocation, no lock, no false sharing across histograms
+// embedded in different shards.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64 // total observed nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Snapshot copies the histogram's atomic state out for reporting. Each
+// bucket is read atomically, so concurrent Observes can make the copy lag
+// but never tear it; Count is derived from the copied buckets, so it always
+// equals their sum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     int64 // nanoseconds
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1) — a conservative estimate, never below the true
+// value by more than one bucket's width. Zero observations yield 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// Mean returns the average observed duration, or 0 with no observations.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.Sum) / s.Count)
+}

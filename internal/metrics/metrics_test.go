@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{256, 0}, // exactly the first bound stays in bucket 0
+		{257, 1}, // one past it moves up
+		{512, 1}, // exactly bound(1)
+		{513, 2},
+		{-5, 0},
+		{time.Hour, NumBuckets - 1}, // overflow clamps to the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's bound must index to that bucket (d <= bound(i)).
+	for i := 0; i < NumBuckets-1; i++ {
+		if got := bucketIndex(BucketBound(i)); got != i {
+			t.Errorf("bucketIndex(BucketBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones: p50 must sit in the fast bucket's
+	// range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(200 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 > time.Microsecond {
+		t.Errorf("p50 = %v, want within the fast bucket", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 100*time.Microsecond || p99 > time.Millisecond {
+		t.Errorf("p99 = %v, want a bound covering 100µs", p99)
+	}
+	if s.Quantile(1) < p99 {
+		t.Errorf("p100 %v < p99 %v", s.Quantile(1), p99)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Errorf("empty snapshot quantile/mean nonzero")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if m := h.Snapshot().Mean(); m != 2*time.Millisecond {
+		t.Fatalf("mean = %v, want 2ms", m)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines while
+// snapshotting: every snapshot's Count must equal the sum of its buckets
+// (torn reads would break that identity), and the final totals must match.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, each = 8, 10000
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum uint64
+			for _, b := range s.Buckets {
+				sum += b
+			}
+			if sum != s.Count {
+				t.Errorf("torn snapshot: count %d != bucket sum %d", s.Count, sum)
+				return
+			}
+			if s.Sum < 0 {
+				t.Errorf("negative sum %d", s.Sum)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*each {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*each)
+	}
+}
+
+func TestSlowlogRing(t *testing.T) {
+	var sl Slowlog
+	sl.SetThreshold(time.Millisecond)
+	if sl.Slow(time.Microsecond) {
+		t.Fatal("sub-threshold duration reported slow")
+	}
+	if !sl.Slow(time.Millisecond) {
+		t.Fatal("at-threshold duration not slow")
+	}
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < SlowlogSize+10; i++ {
+		sl.Record("get", []byte("key"), time.Duration(i)*time.Millisecond, now)
+	}
+	if sl.Len() != SlowlogSize {
+		t.Fatalf("len = %d, want %d", sl.Len(), SlowlogSize)
+	}
+	entries := sl.Entries()
+	if len(entries) != SlowlogSize {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Newest first, oldest 10 overwritten.
+	if entries[0].ID != SlowlogSize+10 {
+		t.Errorf("newest ID = %d, want %d", entries[0].ID, SlowlogSize+10)
+	}
+	if entries[len(entries)-1].ID != 11 {
+		t.Errorf("oldest ID = %d, want 11", entries[len(entries)-1].ID)
+	}
+	if entries[0].Verb != "get" || entries[0].Key() != "key" || entries[0].Unix != now.Unix() {
+		t.Errorf("entry fields: %+v", entries[0])
+	}
+	sl.Reset()
+	if sl.Len() != 0 || len(sl.Entries()) != 0 {
+		t.Fatal("reset left entries")
+	}
+	// IDs keep incrementing across reset.
+	sl.Record("set", []byte("k2"), time.Second, now)
+	if e := sl.Entries(); e[0].ID != SlowlogSize+11 {
+		t.Errorf("post-reset ID = %d, want %d", e[0].ID, SlowlogSize+11)
+	}
+}
+
+func TestSlowlogKeyTruncation(t *testing.T) {
+	var sl Slowlog
+	long := strings.Repeat("k", SlowlogKeyCap+40)
+	sl.Record("set", []byte(long), time.Second, time.Now())
+	if got := sl.Entries()[0].Key(); got != long[:SlowlogKeyCap] {
+		t.Fatalf("key = %q (%d bytes), want %d-byte prefix", got, len(got), SlowlogKeyCap)
+	}
+}
+
+func TestSlowlogDisabled(t *testing.T) {
+	var sl Slowlog
+	sl.SetThreshold(-1)
+	if sl.Slow(time.Hour) {
+		t.Fatal("disabled slowlog reported slow")
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	var r Registry
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+	r.Register("test_ops_total", "ops by verb", TypeCounter, func(tw *TextWriter) {
+		tw.Sample("", 42, "verb", "get")
+		tw.Sample("", 7, "verb", `we"ird\`)
+	})
+	r.Register("test_items", "current items", TypeGauge, func(tw *TextWriter) {
+		tw.Sample("", 3.5)
+	})
+	r.Register("test_latency_seconds", "latency", TypeHistogram, func(tw *TextWriter) {
+		tw.Histogram(h.Snapshot(), "verb", "get")
+	})
+	r.Register("test_empty", "a family with no samples", TypeGauge, func(tw *TextWriter) {})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	fams, err := ValidateText(text)
+	if err != nil {
+		t.Fatalf("output failed validation: %v\n%s", err, text)
+	}
+	if err := RequireFamilies(fams, "test_ops_total", "test_items", "test_latency_seconds", "test_empty"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`test_ops_total{verb="get"} 42`,
+		`test_ops_total{verb="we\"ird\\"} 7`,
+		"test_items 3.5",
+		`test_latency_seconds_bucket{verb="get",le="+Inf"} 2`,
+		`test_latency_seconds_count{verb="get"} 2`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// Histogram buckets must be cumulative and end at the count.
+	if !strings.Contains(text, "test_latency_seconds_sum") {
+		t.Errorf("missing _sum")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	var r Registry
+	r.Register("dup", "", TypeGauge, func(*TextWriter) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register("dup", "", TypeGauge, func(*TextWriter) {})
+}
+
+func TestValidateTextRejects(t *testing.T) {
+	bad := []string{
+		"no_family 1",                         // sample without TYPE
+		"# TYPE x wat\nx 1",                   // unknown type
+		"# TYPE x gauge\nx{a=\"b\" 1",         // unterminated labels
+		"# TYPE x gauge\nx notanumber",        // bad value
+		"# TYPE 9bad gauge\n",                 // bad name
+		"# TYPE x gauge\n# TYPE x gauge\nx 1", // duplicate TYPE
+		"# TYPE x histogram\nx_bucketextra 1", // bogus suffix
+	}
+	for _, text := range bad {
+		if _, err := ValidateText(text); err == nil {
+			t.Errorf("ValidateText accepted %q", text)
+		}
+	}
+	good := "# HELP x help text\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 5\nx_sum 1.5\nx_count 5\n"
+	if _, err := ValidateText(good); err != nil {
+		t.Errorf("ValidateText rejected valid text: %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus metric family types.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition format (version 0.0.4). Families are collected at scrape time
+// through callbacks, so gauges always report live values and the registry
+// itself holds no state to keep in sync.
+type Registry struct {
+	mu   sync.Mutex
+	fams []family
+}
+
+type family struct {
+	name, help, typ string
+	collect         func(*TextWriter)
+}
+
+// Register adds a metric family. name must be a valid Prometheus metric
+// name, typ one of TypeCounter/TypeGauge/TypeHistogram. collect is called
+// once per scrape with a TextWriter scoped to the family; it may emit any
+// number of samples (including none — the HELP/TYPE header is still
+// written, so the family's presence is stable across scrapes).
+func (r *Registry) Register(name, help, typ string, collect func(*TextWriter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.fams {
+		if f.name == name {
+			panic("metrics: duplicate family " + name)
+		}
+	}
+	r.fams = append(r.fams, family{name: name, help: help, typ: typ, collect: collect})
+}
+
+// WriteText renders every family to w in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	tw := &TextWriter{}
+	for _, f := range fams {
+		tw.buf = append(tw.buf, "# HELP "...)
+		tw.buf = append(tw.buf, f.name...)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = append(tw.buf, escapeHelp(f.help)...)
+		tw.buf = append(tw.buf, '\n')
+		tw.buf = append(tw.buf, "# TYPE "...)
+		tw.buf = append(tw.buf, f.name...)
+		tw.buf = append(tw.buf, ' ')
+		tw.buf = append(tw.buf, f.typ...)
+		tw.buf = append(tw.buf, '\n')
+		tw.family = f.name
+		f.collect(tw)
+	}
+	_, err := w.Write(tw.buf)
+	return err
+}
+
+// TextWriter accumulates exposition-format sample lines for one family at a
+// time. Collect callbacks receive it scoped to their family name.
+type TextWriter struct {
+	family string
+	buf    []byte
+}
+
+// Sample emits one sample line: <family><suffix>{labels} <value>. labels
+// are name/value pairs; suffix is "" for plain counters and gauges, or
+// "_bucket"/"_sum"/"_count" for histogram series.
+func (tw *TextWriter) Sample(suffix string, value float64, labels ...string) {
+	if len(labels)%2 != 0 {
+		panic("metrics: odd label list")
+	}
+	tw.buf = append(tw.buf, tw.family...)
+	tw.buf = append(tw.buf, suffix...)
+	if len(labels) > 0 {
+		tw.buf = append(tw.buf, '{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				tw.buf = append(tw.buf, ',')
+			}
+			tw.buf = append(tw.buf, labels[i]...)
+			tw.buf = append(tw.buf, '=', '"')
+			tw.buf = append(tw.buf, escapeLabel(labels[i+1])...)
+			tw.buf = append(tw.buf, '"')
+		}
+		tw.buf = append(tw.buf, '}')
+	}
+	tw.buf = append(tw.buf, ' ')
+	tw.buf = appendFloat(tw.buf, value)
+	tw.buf = append(tw.buf, '\n')
+}
+
+// Histogram emits a snapshot as a full Prometheus histogram: cumulative
+// _bucket series with le bounds in seconds, then _sum and _count.
+func (tw *TextWriter) Histogram(snap HistogramSnapshot, labels ...string) {
+	le := append(append([]string(nil), labels...), "le", "")
+	var cum uint64
+	for i := 0; i < NumBuckets-1; i++ {
+		cum += snap.Buckets[i]
+		le[len(le)-1] = formatSeconds(BucketBound(i).Seconds())
+		tw.Sample("_bucket", float64(cum), le...)
+	}
+	le[len(le)-1] = "+Inf"
+	tw.Sample("_bucket", float64(snap.Count), le...)
+	tw.Sample("_sum", float64(snap.Sum)/1e9, labels...)
+	tw.Sample("_count", float64(snap.Count), labels...)
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(buf, int64(v), 10)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// ValidateText parses Prometheus text exposition format strictly enough to
+// catch malformed output: every sample line must parse, every sample must
+// belong to a declared family (histogram samples via their _bucket/_sum/
+// _count suffixes), and TYPE lines must name a known type. It returns the
+// set of family names declared, for presence checks. CI's metrics-gate and
+// the scrape stress test share it.
+func ValidateText(text string) (families map[string]string, err error) {
+	families = map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if parts[0] == "" || !validMetricName(parts[0]) {
+				return nil, fmt.Errorf("line %d: bad HELP name %q", lineNo, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !validMetricName(parts[0]) {
+				return nil, fmt.Errorf("line %d: bad TYPE line %q", lineNo, line)
+			}
+			switch parts[1] {
+			case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, parts[1])
+			}
+			if _, dup := families[parts[0]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, parts[0])
+			}
+			families[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, rest, perr := parseSampleName(line)
+		if perr != nil {
+			return nil, fmt.Errorf("line %d: %v (%q)", lineNo, perr, line)
+		}
+		fam := name
+		if typ, ok := families[fam]; !ok || typ == TypeHistogram {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, found := strings.CutSuffix(name, suffix); found {
+					if families[base] == TypeHistogram {
+						fam = base
+						break
+					}
+				}
+			}
+		}
+		if _, ok := families[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no declared family", lineNo, name)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+			return nil, fmt.Errorf("line %d: bad sample line %q", lineNo, line)
+		}
+		if _, ferr := strconv.ParseFloat(fields[0], 64); ferr != nil &&
+			fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+			return nil, fmt.Errorf("line %d: bad sample value %q", lineNo, fields[0])
+		}
+	}
+	return families, nil
+}
+
+// RequireFamilies checks that every name in want was declared; missing
+// names are reported sorted, in one error.
+func RequireFamilies(families map[string]string, want ...string) error {
+	var missing []string
+	for _, w := range want {
+		if _, ok := families[w]; !ok {
+			missing = append(missing, w)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return fmt.Errorf("metrics: missing families: %s", strings.Join(missing, ", "))
+}
+
+// parseSampleName splits a sample line into its metric name and the rest
+// after the optional label set.
+func parseSampleName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("no metric name")
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	// Scan the label block, honoring escapes inside quoted values.
+	inQuote := false
+	for j := i + 1; j < len(line); j++ {
+		switch {
+		case inQuote && line[j] == '\\':
+			j++
+		case line[j] == '"':
+			inQuote = !inQuote
+		case !inQuote && line[j] == '}':
+			if j+1 >= len(line) || line[j+1] != ' ' {
+				return "", "", fmt.Errorf("missing value after labels")
+			}
+			return name, line[j+2:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label set")
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowlogKeyCap is the most key bytes a slowlog entry retains; longer keys
+// are truncated. A fixed-size copy keeps the record path allocation-free.
+const SlowlogKeyCap = 64
+
+// SlowlogSize is the ring capacity: the newest SlowlogSize slow commands
+// are retained, older ones are overwritten.
+const SlowlogSize = 128
+
+// SlowEntry is one recorded slow command.
+type SlowEntry struct {
+	// ID increments per recorded entry for the server's lifetime (reset
+	// does not rewind it), so a reader can tell new entries from ones it
+	// has already seen.
+	ID uint64
+	// Unix is the command's start time in Unix seconds.
+	Unix int64
+	// Dur is the command's wall time.
+	Dur time.Duration
+	// Verb is the command verb ("get", "set", ...). It must be a constant
+	// or otherwise retained string: the slowlog stores it as-is.
+	Verb string
+
+	key    [SlowlogKeyCap]byte
+	keyLen uint8
+}
+
+// Key returns the (possibly truncated) key the command addressed.
+func (e *SlowEntry) Key() string { return string(e.key[:e.keyLen]) }
+
+// Slowlog is a fixed-capacity ring of the slowest recent commands. The hot
+// path calls Slow (one atomic load and a compare) per command and Record
+// only past the threshold, so steady-state traffic under the threshold
+// costs one load and nothing else. The threshold is adjustable at runtime.
+//
+// The zero value has a zero threshold, which records every command; callers
+// should SetThreshold before serving traffic.
+type Slowlog struct {
+	threshold atomic.Int64 // ns; < 0 disables recording entirely
+	nextID    atomic.Uint64
+
+	mu    sync.Mutex
+	ring  [SlowlogSize]SlowEntry
+	next  int // ring index the next entry lands in
+	count int // live entries, <= SlowlogSize
+}
+
+// SetThreshold sets the duration at or above which commands are recorded.
+// Zero records everything; negative disables the slowlog.
+func (sl *Slowlog) SetThreshold(d time.Duration) { sl.threshold.Store(int64(d)) }
+
+// Threshold returns the current threshold.
+func (sl *Slowlog) Threshold() time.Duration { return time.Duration(sl.threshold.Load()) }
+
+// Slow reports whether a command of duration d should be recorded. It is
+// the hot-path gate: one atomic load, no allocation.
+func (sl *Slowlog) Slow(d time.Duration) bool {
+	t := sl.threshold.Load()
+	return t >= 0 && int64(d) >= t
+}
+
+// Record adds one slow command. The key is copied (truncated to
+// SlowlogKeyCap) into the ring entry, so the caller may reuse its buffer.
+func (sl *Slowlog) Record(verb string, key []byte, d time.Duration, at time.Time) {
+	id := sl.nextID.Add(1)
+	if len(key) > SlowlogKeyCap {
+		key = key[:SlowlogKeyCap]
+	}
+	sl.mu.Lock()
+	e := &sl.ring[sl.next]
+	e.ID = id
+	e.Unix = at.Unix()
+	e.Dur = d
+	e.Verb = verb
+	e.keyLen = uint8(copy(e.key[:], key))
+	sl.next = (sl.next + 1) % SlowlogSize
+	if sl.count < SlowlogSize {
+		sl.count++
+	}
+	sl.mu.Unlock()
+}
+
+// Entries returns the retained entries, newest first.
+func (sl *Slowlog) Entries() []SlowEntry {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	out := make([]SlowEntry, 0, sl.count)
+	for i := 1; i <= sl.count; i++ {
+		out = append(out, sl.ring[(sl.next-i+SlowlogSize)%SlowlogSize])
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (sl *Slowlog) Len() int {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.count
+}
+
+// Reset discards all retained entries. IDs keep incrementing.
+func (sl *Slowlog) Reset() {
+	sl.mu.Lock()
+	sl.next, sl.count = 0, 0
+	sl.mu.Unlock()
+}
