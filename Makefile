@@ -14,7 +14,12 @@ ALLOCS_BUDGET ?= 48
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: verify fmt vet build test race race-all fuzz fuzz-smoke bench alloc-gate metrics-gate
+# Seed for `make chaos`; override to replay a failing schedule exactly:
+#   make chaos CHAOS_SEED=99 CHAOS_ROUNDS=20
+CHAOS_SEED ?= 1
+CHAOS_ROUNDS ?= 8
+
+.PHONY: verify fmt vet build test race race-all chaos fuzz fuzz-smoke bench alloc-gate metrics-gate
 
 verify: fmt vet build test race
 
@@ -43,6 +48,16 @@ race-all:
 	$(GO) test -race -run 'TestRepl|TestFailover|TestDialWithReplica|TestSnapshotOrderFidelity|TestCrashRecovery' ./internal/kvserver/
 	$(GO) test -race -run 'TestGolden|TestV1Reader|TestWritersAlways|TestJournalCarries' ./internal/persist/
 	$(GO) test -race ./...
+
+# Randomized fault-injection harness under the race detector: a
+# primary+follower pair driven through seeded schedules of disk faults
+# (EIO/ENOSPC/torn writes via the fault.FS seam) and replication-link
+# faults (latency, partitions, truncation via the fault TCP proxy), plus
+# the deterministic degraded-mode end-to-end pin. The seed is printed on
+# failure; replay it with CHAOS_SEED.
+chaos:
+	CAMP_CHAOS=1 CAMP_CHAOS_SEED=$(CHAOS_SEED) CAMP_CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
+		$(GO) test -race -count=1 -run 'TestChaosPrimaryFollower|TestDegradedModeEndToEnd' -v ./internal/kvserver/
 
 # Benchmark the server throughput (the sharding tentpole) plus the policy
 # hot paths and figure pipelines, and record the run as JSON so the perf

@@ -63,6 +63,9 @@ func run() error {
 		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics and pprof at /debug/pprof/ (empty = off)")
 		slowlogMS   = flag.Int64("slowlog-threshold", 10, "slowlog threshold in milliseconds (0 records every command, negative disables; adjustable at runtime with 'slowlog threshold <ms>')")
 
+		maxConns = flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited); accepts beyond the cap are refused and counted in accept_rejected_maxconns")
+		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown: how long in-flight pipelines may finish after SIGTERM before straggler connections are closed")
+
 		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
 		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
 		fsync    = flag.String("fsync", persist.FsyncEverySec, "AOF sync policy: always, everysec or no")
@@ -86,6 +89,7 @@ func run() error {
 		Mode:        *mode,
 		Precision:   *precision,
 		DisableIQ:   *noIQ,
+		MaxConns:    *maxConns,
 		ReplicaOf:   *replicaOf,
 		MetricsAddr: *metricsAddr,
 	}
@@ -112,6 +116,12 @@ func run() error {
 		}
 		cfg.Persist = p
 	}
+	// Installed before the server exists: a supervisor that signals right
+	// after exec (or mid-recovery) must get the graceful drain below, not
+	// the runtime's kill-by-default.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	start := time.Now()
 	srv, err := kvserver.New(cfg)
 	if err != nil {
@@ -133,11 +143,12 @@ func run() error {
 			*dataDir, *aof, *fsync, time.Since(start).Round(time.Millisecond))
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight
+	// pipelines finish (bounded by -drain-timeout), final flush + snapshot
+	// on healthy shards, exit 0.
 	<-sig
-	fmt.Println("campsrv: shutting down")
-	return srv.Close()
+	fmt.Printf("campsrv: draining (up to %v) and shutting down\n", *drain)
+	return srv.Shutdown(*drain)
 }
 
 // defaultShards picks the auto -shards value: one per core, but never so

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
 	"runtime"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestParseSize(t *testing.T) {
@@ -58,5 +65,86 @@ func TestDefaultShards(t *testing.T) {
 		if got := defaultShards(16 << 20); got != 2 {
 			t.Errorf("defaultShards(16MiB) = %d, want 2", got)
 		}
+	}
+}
+
+// TestSIGTERMGracefulExitCode is the end-to-end pin for the signal path: a
+// real campsrv process, a client with pipelined noreply writes in flight,
+// SIGTERM — and the process must drain the pipeline, answer the trailing
+// replied command, flush, and exit 0.
+func TestSIGTERMGracefulExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the campsrv binary")
+	}
+	bin := t.TempDir() + "/campsrv"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-mem", "8MiB", "-shards", "2",
+		"-data-dir", t.TempDir(), "-drain-timeout", "2s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The bound address is in the startup banner.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		t.Logf("campsrv: %s", line)
+		if strings.HasPrefix(line, "campsrv listening on ") {
+			addr = strings.Fields(line)[3]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen banner (scanner err %v)", sc.Err())
+	}
+	go func() { // keep draining the pipe so the child never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var pipe strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&pipe, "set sig:%03d 0 0 3 noreply\r\nv%02d\r\n", i, i%100)
+	}
+	pipe.WriteString("version\r\n")
+	if _, err := conn.Write([]byte(pipe.String())); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "VERSION") {
+		t.Fatalf("reply after SIGTERM = %q, %v; want VERSION", line, err)
+	}
+	conn.Close() // let the drain finish without waiting out the grace window
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- srv.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("campsrv exited non-zero: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("campsrv did not exit after SIGTERM")
 	}
 }

@@ -1,0 +1,346 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	path := filepath.Join(dir, "a.txt")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	next := filepath.Join(dir, "b.txt")
+	if err := fs.Rename(path, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(next, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(next); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorScheduledFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	// Third write fails once with ENOSPC, then the disk works again.
+	inj.Fail(Rule{Op: OpWrite, Err: ErrNoSpace, After: 2, Count: 1})
+
+	f, err := inj.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("third write: got %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestInjectorPathMatchAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 1)
+	inj.Fail(Rule{Op: OpSync, PathContains: "shard-001"})
+
+	a, err := inj.OpenFile(filepath.Join(dir, "shard-000.aof"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := inj.OpenFile(filepath.Join(dir, "shard-001.aof"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Sync(); err != nil {
+		t.Fatalf("unmatched shard sync: %v", err)
+	}
+	if err := b.Sync(); !errors.Is(err, ErrIO) {
+		t.Fatalf("matched shard sync: got %v, want EIO", err)
+	}
+	inj.Heal()
+	if err := b.Sync(); err != nil {
+		t.Fatalf("post-heal sync: %v", err)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil, 42)
+	inj.Fail(Rule{Op: OpWrite, TornWrite: true, Count: 1})
+
+	path := filepath.Join(dir, "torn")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("torn write err = %v, want EIO", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write n = %d, want < %d", n, len(payload))
+	}
+	f.Close()
+	// The prefix really landed on disk.
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(b) != n || string(b) != string(payload[:n]) {
+		t.Fatalf("on-disk = %q (len %d), want prefix of len %d", b, len(b), n)
+	}
+}
+
+func TestInjectorProbabilisticSeeded(t *testing.T) {
+	fire := func(seed int64) int {
+		inj := NewInjector(nil, seed)
+		inj.Fail(Rule{Op: OpRemove, Prob: 0.5})
+		count := 0
+		for i := 0; i < 100; i++ {
+			if err := inj.Remove("/nonexistent/never-touched"); err != nil {
+				var pe *os.PathError
+				if errors.As(err, &pe) && errors.Is(pe.Err, ErrIO) {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	a, b := fire(7), fire(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("p=0.5 fired %d/100 times; rule not probabilistic", a)
+	}
+}
+
+func TestInjectorOpenFault(t *testing.T) {
+	inj := NewInjector(nil, 1)
+	inj.Fail(Rule{Op: OpOpen, PathContains: "journal"})
+	if _, err := inj.OpenFile(filepath.Join(t.TempDir(), "journal-000001.aof"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrIO) {
+		t.Fatalf("open: got %v, want EIO", err)
+	}
+}
+
+// echoServer accepts one connection at a time and echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, err := c.Write(buf[:n]); err != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestProxyForwardAndLatency(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	roundTrip := func() time.Duration {
+		start := time.Now()
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	roundTrip() // plain forwarding works
+	p.SetLatency(50 * time.Millisecond)
+	if d := roundTrip(); d < 80*time.Millisecond { // 2 hops × 50ms, some slack
+		t.Fatalf("latency round trip took %v, want >= 80ms", d)
+	}
+}
+
+func TestProxyBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// One-way partition upstream: our writes succeed but never arrive, so no
+	// echo ever comes back.
+	p.SetBlackhole(Up, true)
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("write into blackhole should succeed locally: %v", err)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read got data through a blackholed link")
+	}
+
+	// Heal the partition: traffic flows again.
+	p.SetBlackhole(Up, false)
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("post-heal read: %v", err)
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Allow 6 more bytes downstream, then cut: the echo of a 16-byte payload
+	// arrives truncated and the connection dies.
+	p.TruncateAfter(Down, 6)
+	if _, err := c.Write([]byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 0, 16)
+	buf := make([]byte, 16)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		n, err := c.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if string(got) != "012345" {
+		t.Fatalf("truncated stream = %q, want %q", got, "012345")
+	}
+}
+
+func TestProxyDropAndRefuse(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p.DropConns()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded on a dropped connection")
+	}
+
+	p.SetRefuse(true)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// Accept then immediate close: the first read must fail.
+		c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c2.Read(buf); err == nil {
+			t.Fatal("refused connection served data")
+		}
+		c2.Close()
+	}
+}

@@ -1,0 +1,107 @@
+// Package fault is the failure-injection seam for the persistence and
+// replication stacks: a small VFS interface (FS/File) that internal/persist
+// routes every file operation through, an Injector that implements it with
+// scheduled or probabilistic I/O errors (EIO, ENOSPC, failing fsyncs, torn
+// short-writes), and a TCP Proxy that degrades a replication link with
+// latency, drops, one-way partitions and byte truncation.
+//
+// Production servers pay one interface indirection per file operation — the
+// default FS is a zero-state passthrough to the os package — and in exchange
+// every partial-failure mode a disk or network can produce becomes a unit
+// test: the chaos harness drives a live primary/follower pair through fault
+// schedules that no amount of kill -9 testing can reach.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the persistence layer uses. Injected
+// implementations wrap a real file and make Write, Sync or Truncate fail on
+// cue.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Stat returns the file's FileInfo.
+	Stat() (os.FileInfo, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam: every file operation internal/persist performs
+// goes through one of these methods, so a single injected implementation
+// controls the whole durability surface — journal appends, fsyncs, snapshot
+// temp files, renames, directory syncs, segment reads.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open is os.Open (read-only).
+	Open(name string) (File, error)
+	// CreateTemp is os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// Truncate is os.Truncate.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory so renames and removals inside it survive
+	// a crash.
+	SyncDir(dir string) error
+}
+
+// OS returns the passthrough FS backed directly by the os package — the
+// production default.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,279 @@
+package fault
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Errors commonly injected. They are the real errno values, so production
+// error handling (errors.Is, %w chains) sees exactly what a failing disk
+// would produce.
+var (
+	// ErrIO is a generic I/O error (EIO): the disk or controller failed.
+	ErrIO error = syscall.EIO
+	// ErrNoSpace is ENOSPC: the filesystem filled up.
+	ErrNoSpace error = syscall.ENOSPC
+)
+
+// FileOp classifies the filesystem operations rules can target.
+type FileOp uint8
+
+// Operation classes. OpOpen covers OpenFile, Open and CreateTemp; OpRead
+// covers File.Read and ReadFile.
+const (
+	OpOpen FileOp = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpSyncDir
+	OpReadDir
+	numOps
+)
+
+var opNames = [numOps]string{
+	"open", "read", "write", "sync", "rename", "remove", "truncate", "syncdir", "readdir",
+}
+
+func (o FileOp) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Rule schedules one fault. A rule matches calls of its Op whose path
+// contains PathContains (empty matches everything); among matching calls it
+// skips the first After, then fires — deterministically, or with probability
+// Prob when set — at most Count times (0 = until healed).
+type Rule struct {
+	// Op is the operation class the rule targets.
+	Op FileOp
+	// PathContains restricts the rule to paths containing this substring
+	// ("" = any path). Shard data dirs make this the natural way to fault
+	// one shard: PathContains: "shard-001".
+	PathContains string
+	// Err is the error to inject (default ErrIO).
+	Err error
+	// After skips the first After matching calls before firing, so a fault
+	// can be scheduled mid-workload ("the third fsync fails").
+	After int
+	// Count caps how many times the rule fires; 0 means every matching
+	// call until Heal. Count: 1 is the fail-once-then-heal shape.
+	Count int
+	// Prob fires the rule probabilistically (0 or >= 1 means always). The
+	// injector's seeded RNG makes probabilistic schedules reproducible.
+	Prob float64
+	// TornWrite, on an OpWrite rule, writes a random prefix of the buffer
+	// through to the real file before failing — the torn short-write a
+	// crash mid-write leaves behind, which is what recovery's torn-tail
+	// truncation exists to handle.
+	TornWrite bool
+}
+
+type activeRule struct {
+	Rule
+	seen  int // matching calls observed
+	fired int // times this rule actually injected
+}
+
+// Injector is an FS that forwards to an inner FS but fails operations
+// according to its rule set. All methods are safe for concurrent use; the
+// zero rule set forwards everything untouched.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	rnd      *rand.Rand
+	rules    []*activeRule
+	injected uint64
+}
+
+// NewInjector wraps inner (nil = the real OS filesystem) with an empty rule
+// set. seed makes probabilistic rules reproducible.
+func NewInjector(inner FS, seed int64) *Injector {
+	if inner == nil {
+		inner = OS()
+	}
+	return &Injector{inner: inner, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Fail adds a rule. Rules are independent: the first one that decides to
+// fire wins.
+func (in *Injector) Fail(r Rule) {
+	if r.Err == nil {
+		r.Err = ErrIO
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, &activeRule{Rule: r})
+	in.mu.Unlock()
+}
+
+// Heal drops every rule: the disk works again.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Injected reports how many operations have been failed so far.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// check consults the rules for one operation. For OpWrite with n bytes
+// pending it may return torn > 0: the caller must write the first torn bytes
+// through before returning err.
+func (in *Injector) check(op FileOp, path string, n int) (torn int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && in.rnd.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		in.injected++
+		if r.TornWrite && op == OpWrite && n > 0 {
+			torn = in.rnd.Intn(n) // 0 <= torn < n: always short
+		}
+		return torn, r.Err
+	}
+	return 0, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if _, err := in.check(OpOpen, name, 0); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, in: in, path: name}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if _, err := in.check(OpOpen, name, 0); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, in: in, path: name}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := in.check(OpOpen, dir, 0); err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, in: in, path: f.Name()}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if _, err := in.check(OpRead, name, 0); err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return in.inner.ReadFile(name)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if _, err := in.check(OpReadDir, name, 0); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.check(OpRename, newpath, 0); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if _, err := in.check(OpRemove, name, 0); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if _, err := in.check(OpTruncate, name, 0); err != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return in.inner.Truncate(name, size)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if _, err := in.check(OpSyncDir, dir, 0); err != nil {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// injectFile routes Write/Sync/Truncate/Read through the injector's rules.
+type injectFile struct {
+	File
+	in   *Injector
+	path string
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	torn, err := f.in.check(OpWrite, f.path, len(p))
+	if err != nil {
+		n := 0
+		if torn > 0 {
+			// The torn prefix really reaches the file: recovery has to deal
+			// with a half-record on disk, not just a clean miss.
+			n, _ = f.File.Write(p[:torn])
+		}
+		return n, &os.PathError{Op: "write", Path: f.path, Err: err}
+	}
+	return f.File.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if _, err := f.in.check(OpSync, f.path, 0); err != nil {
+		return &os.PathError{Op: "sync", Path: f.path, Err: err}
+	}
+	return f.File.Sync()
+}
+
+func (f *injectFile) Truncate(size int64) error {
+	if _, err := f.in.check(OpTruncate, f.path, 0); err != nil {
+		return &os.PathError{Op: "truncate", Path: f.path, Err: err}
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	if _, err := f.in.check(OpRead, f.path, 0); err != nil {
+		return 0, &os.PathError{Op: "read", Path: f.path, Err: err}
+	}
+	return f.File.Read(p)
+}

@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Direction selects which half of a proxied connection a network fault
+// applies to. Up is client→target (for a replication link: follower→primary),
+// Down is target→client.
+type Direction uint8
+
+const (
+	Up Direction = 1 << iota
+	Down
+	Both Direction = Up | Down
+)
+
+// Proxy is a TCP fault proxy: it accepts on a local address and pipes each
+// connection to a fixed target, optionally degrading the link. Faults are
+// applied live to existing connections:
+//
+//   - SetLatency: delay every forwarded chunk (both directions)
+//   - SetBlackhole: one-way partition — bytes in the chosen direction are
+//     read and discarded, so the sender sees progress but the receiver sees
+//     silence (the nastiest partition shape: neither side gets an error)
+//   - TruncateAfter: forward n more bytes in a direction, then kill the
+//     connection — a stream cut mid-frame
+//   - DropConns: close every live connection now
+//   - SetRefuse: refuse (immediately close) new connections
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	latency   atomic.Int64  // nanoseconds added per forwarded chunk
+	blackhole atomic.Uint32 // Direction bitmask being discarded
+	refuse    atomic.Bool   // close new conns on accept
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{} // both halves of every live pipe
+	truncate [2]truncBudget        // indexed by dirIndex
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type truncBudget struct {
+	armed     bool
+	remaining int64
+}
+
+func dirIndex(d Direction) int {
+	if d == Up {
+		return 0
+	}
+	return 1
+}
+
+// NewProxy starts a proxy on addr (e.g. "127.0.0.1:0") forwarding to target.
+func NewProxy(addr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what a follower dials instead of
+// the primary.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetLatency delays every forwarded chunk by d (0 disables).
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// SetBlackhole starts or stops discarding bytes flowing in dir. The sender's
+// writes keep succeeding; the receiver just never hears anything again.
+func (p *Proxy) SetBlackhole(dir Direction, on bool) {
+	for {
+		old := p.blackhole.Load()
+		var next uint32
+		if on {
+			next = old | uint32(dir)
+		} else {
+			next = old &^ uint32(dir)
+		}
+		if p.blackhole.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// TruncateAfter forwards n more bytes in dir, then closes every live
+// connection: the receiver gets a clean prefix of the stream cut at an
+// arbitrary byte boundary — usually mid-frame. A negative n disarms a
+// budget that has not fired yet.
+func (p *Proxy) TruncateAfter(dir Direction, n int64) {
+	p.mu.Lock()
+	p.truncate[dirIndex(dir)] = truncBudget{armed: n >= 0, remaining: n}
+	p.mu.Unlock()
+}
+
+// SetRefuse makes the proxy close new connections immediately (a down
+// primary), without disturbing established ones.
+func (p *Proxy) SetRefuse(on bool) { p.refuse.Store(on) }
+
+// DropConns closes every live proxied connection. New connections are still
+// accepted (unless refusing).
+func (p *Proxy) DropConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down: stops accepting, drops all connections, waits
+// for the pipes to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.DropConns()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.refuse.Load() {
+			c.Close()
+			continue
+		}
+		t, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			t.Close()
+			return
+		}
+		p.conns[c] = struct{}{}
+		p.conns[t] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(c, t, Up)
+		go p.pipe(t, c, Down)
+	}
+}
+
+// pipe forwards src→dst applying the live fault settings for dir. Either
+// side failing tears down both, so the pair dies together like a real TCP
+// connection.
+func (p *Proxy) pipe(src, dst net.Conn, dir Direction) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := time.Duration(p.latency.Load()); d > 0 {
+				time.Sleep(d)
+			}
+			chunk := buf[:n]
+			if cut, kill := p.truncAllow(dir, int64(len(chunk))); kill {
+				if cut > 0 {
+					dst.Write(chunk[:cut])
+				}
+				// Kill the whole proxy's connections: the test wants the
+				// stream to end here, not resume on a retry byte.
+				p.DropConns()
+				return
+			}
+			if p.blackhole.Load()&uint32(dir) != 0 {
+				continue // read and discarded: one-way partition
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return // EOF or error: deferred close tears down both halves
+		}
+	}
+}
+
+// truncAllow charges n bytes against dir's truncation budget. It returns the
+// number of bytes still allowed through and whether the connection must be
+// cut after forwarding them.
+func (p *Proxy) truncAllow(dir Direction, n int64) (allow int64, kill bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tb := &p.truncate[dirIndex(dir)]
+	if !tb.armed {
+		return n, false
+	}
+	if n <= tb.remaining {
+		tb.remaining -= n
+		return n, false
+	}
+	allow = tb.remaining
+	tb.armed = false
+	tb.remaining = 0
+	return allow, true
+}

@@ -114,6 +114,7 @@ func (s *Server) openPersistence() error {
 				DisableAOF: p.DisableAOF,
 				AOFLimit:   p.AOFLimit,
 				Logf:       p.Logf,
+				FS:         p.FS,
 			}, apply)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)

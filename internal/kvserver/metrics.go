@@ -160,6 +160,11 @@ func (s *Server) handleStatsShards(cs *connState) error {
 			out = appendStat(out, prefix+"journal_gen", info.Generation)
 			out = appendStatInt(out, prefix+"journal_bytes", info.AOFSize)
 			out = appendStat(out, prefix+"compactions", info.Compactions)
+			degraded := uint64(0)
+			if sh.degraded.Load() {
+				degraded = 1
+			}
+			out = appendStat(out, prefix+"persist_degraded", degraded)
 		}
 	}
 	out = append(out, replyEnd...)
@@ -266,6 +271,25 @@ func (s *Server) buildRegistry() {
 		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.counters.getHits.Load())) })
 	r.Register("camp_get_misses_total", "Per-key get misses.", metrics.TypeCounter,
 		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.counters.getMisses.Load())) })
+
+	// Robustness families, registered unconditionally (PR-6 convention: the
+	// family set is identical across roles and configurations).
+	r.Register("camp_conn_panics_total", "Handler panics recovered; each closed its connection, the server survived.", metrics.TypeCounter,
+		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.counters.connPanics.Load())) })
+	r.Register("camp_accept_rejected_maxconns_total", "Connections refused at the -max-conns accept limit.", metrics.TypeCounter,
+		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.counters.acceptRejected.Load())) })
+	r.Register("camp_persist_errors_total", "Journal and snapshot failures across all shards.", metrics.TypeCounter,
+		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.counters.persistErrors.Load())) })
+	r.Register("camp_shard_persist_degraded", "Whether the shard serves cache-only after a persistence failure (1) or journals normally (0).", metrics.TypeGauge,
+		func(tw *metrics.TextWriter) {
+			for i, sh := range s.shards {
+				v := 0.0
+				if sh.degraded.Load() {
+					v = 1
+				}
+				tw.Sample("", v, "shard", labels[i])
+			}
+		})
 
 	r.Register("camp_connections_current", "Open client connections.", metrics.TypeGauge,
 		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.counters.currConns.Load())) })

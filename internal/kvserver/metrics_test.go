@@ -40,6 +40,10 @@ var requiredFamilies = []string{
 	"camp_shard_journal_generation",
 	"camp_shard_journal_bytes",
 	"camp_shard_compactions_total",
+	"camp_shard_persist_degraded",
+	"camp_conn_panics_total",
+	"camp_accept_rejected_maxconns_total",
+	"camp_persist_errors_total",
 	"camp_slowlog_entries",
 	"camp_slowlog_threshold_seconds",
 	"camp_repl_feed_generation",
@@ -146,6 +150,7 @@ func TestStatsLineSet(t *testing.T) {
 		"cmd_get", "cmd_set", "cmd_add", "cmd_replace", "cmd_append",
 		"cmd_prepend", "cmd_incr", "cmd_decr", "cmd_touch", "cmd_delete",
 		"get_hits", "get_misses", "set_rejected",
+		"conn_panics", "accept_rejected_maxconns",
 		"curr_items", "bytes", "limit_maxbytes", "evictions",
 		"expired_reclaimed", "iq_miss_table_entries",
 		"policy", "mode", "shards", "role", "rejected_sets", "camp_queues",

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"strconv"
@@ -459,7 +460,10 @@ type replicaSession struct {
 func newReplicaSession(s *Server, primary string) *replicaSession {
 	rs := &replicaSession{s: s, primary: primary, stop: make(chan struct{})}
 	for i, sh := range s.shards {
-		sr := &shardReplica{rs: rs, idx: i, sh: sh}
+		sr := &shardReplica{
+			rs: rs, idx: i, sh: sh,
+			rnd: rand.New(rand.NewSource(time.Now().UnixNano() + int64(i))),
+		}
 		// Resume from the position recovery found in the local journal (a
 		// restart with a current journal then reconnects with CONTINUE
 		// instead of re-bootstrapping). A position scoped to a dead primary
@@ -527,10 +531,12 @@ type shardReplica struct {
 	reconnects uint64
 	applied    uint64
 
-	// staleStreak and batch are only touched by the run goroutine; batch is
-	// the scratch for the op+position journal writes.
+	// staleStreak, batch and rnd are only touched by the run goroutine;
+	// batch is the scratch for the op+position journal writes, rnd drives
+	// the reconnect-backoff jitter.
 	staleStreak int
 	batch       []persist.Op
+	rnd         *rand.Rand
 
 	// lastFrame is the wall clock (unix nanos) of the newest frame — record,
 	// generation switch or ping — this stream delivered; 0 before the first
@@ -613,6 +619,14 @@ func (sr *shardReplica) appendStatus(out []byte) []byte {
 	out = appendStat(out, prefix+"full_syncs", sr.fullSyncs)
 	out = appendStat(out, prefix+"reconnects", sr.reconnects)
 	out = appendStat(out, prefix+"applied_ops", sr.applied)
+	// Cache-only operation after a local persistence failure: applied ops
+	// are not journaled and the durable position is frozen until the disk
+	// heals.
+	degraded := uint64(0)
+	if sh.degraded.Load() {
+		degraded = 1
+	}
+	out = appendStat(out, prefix+"persist_degraded", degraded)
 	// Staleness: time since the stream last delivered a frame or ping
 	// (the primary pings every second while idle, so a healthy stream
 	// stays near zero). -1 before the first successful handshake.
@@ -647,7 +661,10 @@ func (sr *shardReplica) run() {
 		sr.mu.Lock()
 		sr.reconnects++
 		sr.mu.Unlock()
-		t := time.NewTimer(backoff)
+		// Jittered: after a primary restart every shard stream drops at the
+		// same instant, and un-jittered backoff would have all of them (on
+		// every follower) redial in lockstep forever.
+		t := time.NewTimer(jitter(sr.rnd, backoff))
 		select {
 		case <-sr.rs.stop:
 			t.Stop()

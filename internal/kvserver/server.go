@@ -45,12 +45,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"camp/internal/core"
+	"camp/internal/fault"
 	"camp/internal/persist"
 	"camp/internal/proto"
 )
@@ -98,6 +100,12 @@ type Config struct {
 	ItemOverhead int64
 	// DisableIQ turns off miss-to-set cost derivation.
 	DisableIQ bool
+	// MaxConns caps concurrently served connections. Accepts beyond the cap
+	// are refused (closed immediately) and counted in
+	// accept_rejected_maxconns, and the accept loop backs off briefly so a
+	// reconnect storm burns a bounded accept rate instead of a core.
+	// 0 means unlimited.
+	MaxConns int
 	// MaxValueBytes rejects larger values (default 8 MiB).
 	MaxValueBytes int64
 	// Persist enables the durability subsystem when non-nil: mutations are
@@ -144,6 +152,14 @@ type PersistConfig struct {
 	AOFLimit int64
 	// Logf receives recovery and background-sync warnings (default: none).
 	Logf func(format string, args ...any)
+	// FS routes every journal and snapshot file operation; nil means the
+	// real filesystem. Fault-injection tests pass a fault.Injector here to
+	// exercise disk-failure degradation end to end.
+	FS fault.FS
+	// ProbeMin/ProbeMax bound the jittered exponential backoff between
+	// disk-health probes while a shard is degraded (defaults 500ms / 10s).
+	ProbeMin time.Duration
+	ProbeMax time.Duration
 }
 
 // DefaultItemOverhead approximates the per-item header of Twemcache.
@@ -181,12 +197,18 @@ type Server struct {
 	replFeeds atomic.Int64
 
 	compactC chan *shard
+	probeC   chan struct{}
 	stopBg   chan struct{}
 
 	wg     sync.WaitGroup
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	// testHookCmd, when non-nil, runs at the top of every dispatched command.
+	// Fault tests use it to inject handler panics; it is never set in
+	// production, so the request path pays one nil check.
+	testHookCmd func(toks [][]byte)
 }
 
 // New validates cfg and creates a Server (not yet listening). With
@@ -255,13 +277,16 @@ func New(cfg Config) (*Server, error) {
 		if err := s.openPersistence(); err != nil {
 			return nil, fmt.Errorf("kvserver: recover: %w", err)
 		}
-		// The compactor runs for the server's whole life (not just while
-		// listening): size-triggered and interval snapshots both happen off
-		// the request path here.
+		// The compactor and the health prober run for the server's whole
+		// life (not just while listening): size-triggered and interval
+		// snapshots, and degraded-shard recovery, all happen off the
+		// request path here.
 		s.compactC = make(chan *shard, len(s.shards))
+		s.probeC = make(chan struct{}, 1)
 		s.stopBg = make(chan struct{})
-		s.wg.Add(1)
+		s.wg.Add(2)
 		go s.compactorLoop(p.SnapshotInterval)
+		go s.proberLoop(p.ProbeMin, p.ProbeMax)
 	}
 	if cfg.ReplicaOf != "" {
 		s.readOnly.Store(true)
@@ -387,6 +412,72 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully, the SIGTERM path: stop accepting,
+// let every live connection finish the pipeline it has in flight (each
+// connection keeps dispatching the commands it has already buffered; the
+// first socket read past the grace deadline ends its loop cleanly), then
+// flush and snapshot the healthy shards. Connections that never read —
+// a wedged peer, a replication feed mid-stream — are force-closed shortly
+// after the grace window. Degraded shards are skipped by the final snapshot:
+// their state is cache-only by contract, and their journals were already
+// detached. A second Shutdown (or a Close after it) is a no-op.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	deadline := time.Now().Add(grace)
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.connMu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	if s.repl != nil {
+		s.repl.stopAll()
+	}
+	if s.stopBg != nil {
+		close(s.stopBg)
+	}
+	if s.metricsSrv != nil {
+		s.metricsSrv.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace + time.Second):
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+	if s.cfg.Persist != nil {
+		s.Snapshot()
+		for _, sh := range s.shards {
+			if sh.mgr == nil {
+				continue
+			}
+			if cerr := sh.mgr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if rerr := s.rootLock.Release(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
 // Kill tears the server down without flushing persistence — no final
 // journal sync, no shutdown snapshot — simulating a crash for recovery
 // tests and demos. Orderly shutdown is Close.
@@ -435,13 +526,33 @@ func (s *Server) stopNetwork() (err error, wasOpen bool) {
 	return err, true
 }
 
+// acceptRejectBackoff bounds the pause after a -max-conns rejection; the
+// first rejection waits 1ms, doubling up to this cap while the server stays
+// over the limit.
+const acceptRejectBackoff = 50 * time.Millisecond
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	rejectPause := time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		if max := s.cfg.MaxConns; max > 0 && s.counters.currConns.Load() >= int64(max) {
+			// Over the accept limit: refuse and pause before the next
+			// accept. The pause is what contains the blast radius of a
+			// reconnect storm — without it a rejected client retrying in a
+			// tight loop would spin this goroutine at accept speed.
+			s.counters.acceptRejected.Add(1)
+			conn.Close()
+			time.Sleep(rejectPause)
+			if rejectPause *= 2; rejectPause > acceptRejectBackoff {
+				rejectPause = acceptRejectBackoff
+			}
+			continue
+		}
+		rejectPause = time.Millisecond
 		// One wrapper allocation per connection (not per op) buys the
 		// bytes_read/bytes_written stats for every byte that crosses the
 		// socket, replication feeds included.
@@ -455,6 +566,10 @@ func (s *Server) acceptLoop() {
 		s.conns[counted] = struct{}{}
 		s.connMu.Unlock()
 		s.counters.totalConns.Add(1)
+		// Counted here, not in serveConn: the accept-limit check above must
+		// see a connection the instant it is admitted, or a burst of accepts
+		// would all pass the check before any handler goroutine ran.
+		s.counters.currConns.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(counted)
 	}
@@ -486,8 +601,15 @@ var errCloseConn = errors.New("kvserver: close connection")
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	s.counters.currConns.Add(1)
 	defer func() {
+		// Blast-radius containment: a panic anywhere in this connection's
+		// command handling closes this connection only. It is counted
+		// (conn_panics) and logged with the stack; every other connection —
+		// and the server — keeps running.
+		if r := recover(); r != nil {
+			s.counters.connPanics.Add(1)
+			s.logf("kvserver: connection handler panic: %v\n%s", r, debug.Stack())
+		}
 		s.counters.currConns.Add(-1)
 		s.connMu.Lock()
 		delete(s.conns, conn)
@@ -553,6 +675,9 @@ func (s *Server) dispatch(line []byte, cs *connState) (quit bool, fatal error) {
 
 // dispatchCmd routes one tokenized command to its handler.
 func (s *Server) dispatchCmd(toks [][]byte, cs *connState) (quit bool, fatal error) {
+	if s.testHookCmd != nil {
+		s.testHookCmd(toks)
+	}
 	switch string(toks[0]) {
 	case "get", "gets":
 		return false, s.handleGet(toks[1:], cs)
@@ -1140,6 +1265,7 @@ func (s *Server) handleStats(args [][]byte, cs *connState) error {
 		out = appendStatStr(out, "aof_fsync", fsync)
 		out = appendStat(out, "persist_compactions", compactions)
 		out = appendStat(out, "persist_errors", s.counters.persistErrors.Load())
+		out = appendStatInt(out, "persist_degraded", s.degradedShards())
 		out = appendStat(out, "persist_snapshots", s.counters.persistSnapshots.Load())
 		out = appendStatInt(out, "restored_snapshot_ops", int64(s.recovered.SnapshotOps))
 		out = appendStatInt(out, "restored_aof_ops", int64(s.recovered.ReplayedOps))

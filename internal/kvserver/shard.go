@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"camp/internal/metrics"
@@ -115,6 +116,13 @@ type shard struct {
 	replDiverged bool
 
 	mgr *persist.Manager // nil without persistence
+
+	// degraded marks this shard as serving cache-only after a persistence
+	// failure: the journal handle has been dropped, mutations skip journaling,
+	// replication positions freeze, and the background prober (health.go) owns
+	// the way back — a successful disk probe followed by a clean compaction
+	// snapshot. Atomic so stats and metrics read it without sh.mu.
+	degraded atomic.Bool
 
 	// compactMu serializes snapshot cycles on this shard (the background
 	// compactor vs. forced Snapshot/flush_all). It is never taken on the
@@ -328,17 +336,17 @@ func (sh *shard) arithLocked(incr bool, key string, delta uint64, now time.Time)
 }
 
 // journalLocked appends one mutation to this shard's AOF. The caller holds
-// sh.mu. Journal failures are surfaced through the persist_errors stat
-// rather than failing the client op; with a healthy disk they do not happen.
-// An over-limit journal schedules an off-lock compaction instead of paying
-// for one inline.
+// sh.mu. A journal failure degrades the shard to cache-only operation
+// (enterDegraded) instead of failing the client op: the server keeps
+// serving, the error surfaces through persist_errors and persist_degraded,
+// and the prober re-enters healthy once the disk recovers. An over-limit
+// journal schedules an off-lock compaction instead of paying for one inline.
 func (sh *shard) journalLocked(op persist.Op) {
-	if sh.mgr == nil {
+	if sh.mgr == nil || sh.degraded.Load() {
 		return
 	}
 	if err := sh.mgr.Append(op); err != nil {
-		sh.srv.counters.persistErrors.Add(1)
-		sh.srv.logf("kvserver: journal: %v", err)
+		sh.enterDegraded("journal append", err)
 		return
 	}
 	if sh.mgr.NeedsCompaction() {
@@ -349,15 +357,18 @@ func (sh *shard) journalLocked(op persist.Op) {
 // journalBatchLocked appends a group of mutations as one journal write (one
 // fsync under FsyncAlways) — the bulk form of journalLocked a replica's
 // bootstrap swap uses. ok reports whether the batch reached the journal
-// (vacuously true without one); the replication path uses it to stop
-// trusting positions after a failed append. The caller holds sh.mu.
+// (vacuously true without one, false while degraded); the replication path
+// uses it to stop trusting positions after a failed append. The caller holds
+// sh.mu.
 func (sh *shard) journalBatchLocked(ops []persist.Op) (ok bool) {
 	if sh.mgr == nil {
 		return true
 	}
+	if sh.degraded.Load() {
+		return false
+	}
 	if err := sh.mgr.AppendBatch(ops); err != nil {
-		sh.srv.counters.persistErrors.Add(1)
-		sh.srv.logf("kvserver: journal batch: %v", err)
+		sh.enterDegraded("journal batch", err)
 		return false
 	}
 	if sh.mgr.NeedsCompaction() {
@@ -367,11 +378,33 @@ func (sh *shard) journalBatchLocked(ops []persist.Op) (ok bool) {
 }
 
 // canPersistPosLocked reports whether this shard can durably record
-// replication positions: there is an AOF to put them in, and the journal is
-// still a faithful prefix of the applied stream. The caller holds sh.mu.
+// replication positions: there is a healthy AOF to put them in, and the
+// journal is still a faithful prefix of the applied stream. The caller holds
+// sh.mu.
 func (sh *shard) canPersistPosLocked() bool {
 	return sh.mgr != nil && sh.srv.cfg.Persist != nil &&
-		!sh.srv.cfg.Persist.DisableAOF && !sh.replDiverged
+		!sh.srv.cfg.Persist.DisableAOF && !sh.replDiverged &&
+		!sh.degraded.Load()
+}
+
+// enterDegraded moves the shard to cache-only operation after a persistence
+// failure: the broken journal handle is dropped (so nothing keeps writing
+// into a sick disk, and stray appends fail fast instead of blocking),
+// mutations stop journaling, replication positions freeze, and the server
+// keeps serving all traffic from memory. The background prober owns the way
+// back to healthy. Callable with or without sh.mu held — it touches only
+// atomics and the manager's own lock.
+func (sh *shard) enterDegraded(what string, err error) {
+	sh.srv.counters.persistErrors.Add(1)
+	if sh.degraded.CompareAndSwap(false, true) {
+		sh.srv.logf("kvserver: %s: %v — shard degraded, serving cache-only", what, err)
+		if sh.mgr != nil {
+			sh.mgr.Detach()
+		}
+		sh.srv.wakeProber()
+		return
+	}
+	sh.srv.logf("kvserver: %s (already degraded): %v", what, err)
 }
 
 // markDivergedLocked records a journal gap: an append on the replication
@@ -384,14 +417,34 @@ func (sh *shard) markDivergedLocked() {
 	sh.replPos = persist.Position{}
 }
 
-// compact runs one snapshot-then-truncate cycle on this shard. The shard
-// lock is held only for the journal segment switch and the entry copy-out;
+// compact runs one snapshot-then-truncate cycle on this shard. Degraded
+// shards are skipped: the prober owns re-entry to healthy (runCompaction
+// with heal=true), and compacting a broken disk from the interval ticker
+// would just churn errors.
+func (sh *shard) compact() {
+	if sh.degraded.Load() {
+		return
+	}
+	sh.runCompaction(false)
+}
+
+// runCompaction performs one snapshot-then-truncate cycle. The shard lock is
+// held only for the journal segment switch and the entry copy-out;
 // serializing and writing the snapshot — the part proportional to the data —
 // happens unlocked, so a snapshot never stalls the shard for the duration of
 // the disk write, and never stalls the other shards at all.
-func (sh *shard) compact() {
+//
+// heal=true is the prober's re-entry path for a degraded shard: the degraded
+// flag clears immediately after BeginCompact succeeds, while sh.mu is still
+// held, so every mutation applied after the segment switch journals to the
+// new segment and the snapshot+tail recovery invariant holds with no gap.
+// (Clearing after Commit instead would lose every op applied during the
+// unlocked snapshot write.) Any failure — segment switch or snapshot commit —
+// degrades the shard (again); a server shutting down (persist.ErrClosed)
+// does not.
+func (sh *shard) runCompaction(heal bool) error {
 	if sh.mgr == nil {
-		return
+		return nil
 	}
 	sh.compactMu.Lock()
 	defer sh.compactMu.Unlock()
@@ -400,10 +453,12 @@ func (sh *shard) compact() {
 	if err != nil {
 		sh.mu.Unlock()
 		if !errors.Is(err, persist.ErrClosed) {
-			sh.srv.counters.persistErrors.Add(1)
-			sh.srv.logf("kvserver: snapshot: %v", err)
+			sh.enterDegraded("snapshot begin", err)
 		}
-		return
+		return err
+	}
+	if heal {
+		sh.degraded.Store(false)
 	}
 	ops := sh.store.collectOps()
 	// A follower's position must survive the journal truncation this
@@ -416,9 +471,11 @@ func (sh *shard) compact() {
 	}
 	sh.mu.Unlock()
 	if err := c.Commit(emitOps(ops)); err != nil {
-		sh.srv.counters.persistErrors.Add(1)
-		sh.srv.logf("kvserver: snapshot: %v", err)
-		return
+		if !errors.Is(err, persist.ErrClosed) {
+			sh.enterDegraded("snapshot commit", err)
+		}
+		return err
 	}
 	sh.srv.counters.persistSnapshots.Add(1)
+	return nil
 }

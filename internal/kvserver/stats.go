@@ -14,6 +14,11 @@ type counters struct {
 	persistErrors, persistSnapshots                           atomic.Uint64
 	replSyncsServed, replFullSyncsServed, replAppliedOps      atomic.Uint64
 
+	// Blast-radius accounting: handler panics recovered (that connection
+	// closed, the server survived) and connections refused at the -max-conns
+	// accept limit.
+	connPanics, acceptRejected atomic.Uint64
+
 	// Connection and socket accounting (memcached's standard identity
 	// stats). currConns is signed: it decrements on close.
 	currConns                           atomic.Int64
@@ -52,6 +57,8 @@ func (c *counters) lines() []statLine {
 		{"get_hits", c.getHits.Load()},
 		{"get_misses", c.getMisses.Load()},
 		{"set_rejected", c.setRejected.Load()},
+		{"conn_panics", c.connPanics.Load()},
+		{"accept_rejected_maxconns", c.acceptRejected.Load()},
 	}
 }
 

@@ -217,7 +217,7 @@ func TestWritersAlwaysEmitV2(t *testing.T) {
 	if err := m.Compact(emit); err != nil {
 		t.Fatal(err)
 	}
-	snaps, _, err := scanDir(mdir)
+	snaps, _, err := scanDir(defaultFS, mdir)
 	if err != nil || len(snaps) == 0 {
 		t.Fatalf("no compaction snapshot written: %v %v", snaps, err)
 	}
@@ -230,7 +230,7 @@ func TestWritersAlwaysEmitV2(t *testing.T) {
 	}
 
 	// New AOF segments are stamped v2 as well.
-	_, aofs, err := scanDir(mdir)
+	_, aofs, err := scanDir(defaultFS, mdir)
 	if err != nil || len(aofs) == 0 {
 		t.Fatalf("no aof segment: %v %v", aofs, err)
 	}

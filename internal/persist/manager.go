@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"camp/internal/fault"
 )
 
 // Fsync policies for the append-only log, mirroring Redis' appendfsync.
@@ -44,6 +46,10 @@ type Options struct {
 	// Logf, when non-nil, receives recovery warnings (torn-tail
 	// truncation) and background sync errors.
 	Logf func(format string, args ...any)
+	// FS is the filesystem the manager performs every file operation
+	// through (nil = the real OS). Tests inject a fault.Injector here to
+	// make fsyncs fail, disks fill up, and writes tear.
+	FS fault.FS
 }
 
 // RecoverStats summarizes what Open restored.
@@ -78,11 +84,12 @@ type Info struct {
 // matches the apply order.
 type Manager struct {
 	opts Options
+	fs   fault.FS
 
 	mu         sync.Mutex
 	gen        uint64 // current AOF generation
 	snapGen    uint64 // newest on-disk snapshot generation (0 = none)
-	aof        *os.File
+	aof        fault.File
 	aofLen     int64
 	dirty      bool
 	closed     bool
@@ -137,12 +144,16 @@ func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
 	if opts.Dir == "" {
 		return nil, stats, errors.New("persist: Options.Dir is required")
 	}
+	if opts.FS == nil {
+		opts.FS = defaultFS
+	}
 	lock, err := LockDir(opts.Dir)
 	if err != nil {
 		return nil, stats, err
 	}
 	m := &Manager{
 		opts:    opts,
+		fs:      opts.FS,
 		lock:    lock,
 		stop:    make(chan struct{}),
 		notify:  make(chan struct{}),
@@ -150,7 +161,7 @@ func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
 		runID:   newRunID(),
 	}
 
-	gen, snapGen, stats, err := recoverDir(opts.Dir, opts.Logf, true, apply)
+	gen, snapGen, stats, err := recoverDir(opts.FS, opts.Dir, opts.Logf, true, apply)
 	if err != nil {
 		lock.Release()
 		return nil, stats, err
@@ -185,7 +196,7 @@ func Open(opts Options, apply func(Op) error) (*Manager, RecoverStats, error) {
 // not truncated — the files are left untouched). Callers use it to migrate a
 // data directory between layouts; mutual exclusion is their problem.
 func RecoverDir(dir string, logf func(format string, args ...any), apply func(Op) error) (RecoverStats, error) {
-	gen, snapGen, stats, err := recoverDir(dir, logf, false, apply)
+	gen, snapGen, stats, err := recoverDir(defaultFS, dir, logf, false, apply)
 	_ = snapGen
 	stats.Generation = gen
 	return stats, err
@@ -195,14 +206,14 @@ func RecoverDir(dir string, logf func(format string, args ...any), apply func(Op
 // generation seen and the generation of the snapshot loaded (0 when none).
 // With truncate set, a torn final AOF record is cut from the file, Redis
 // aof-load-truncated style; otherwise it is only skipped.
-func recoverDir(dir string, logf func(format string, args ...any), truncate bool, apply func(Op) error) (gen, snapGen uint64, stats RecoverStats, err error) {
-	snapGens, aofGens, err := scanDir(dir)
+func recoverDir(fs fault.FS, dir string, logf func(format string, args ...any), truncate bool, apply func(Op) error) (gen, snapGen uint64, stats RecoverStats, err error) {
+	snapGens, aofGens, err := scanDir(fs, dir)
 	if err != nil {
 		return 0, 0, stats, err
 	}
 	if len(snapGens) > 0 {
 		snapGen = snapGens[len(snapGens)-1]
-		n, err := LoadSnapshotFile(filepath.Join(dir, snapName(snapGen)), apply)
+		n, err := loadSnapshotFileFS(fs, filepath.Join(dir, snapName(snapGen)), apply)
 		if err != nil {
 			return 0, 0, stats, err
 		}
@@ -214,7 +225,7 @@ func recoverDir(dir string, logf func(format string, args ...any), truncate bool
 			continue // subsumed by the snapshot
 		}
 		last := i == len(aofGens)-1
-		n, truncated, err := replayAOF(filepath.Join(dir, aofName(g)), last, truncate, logf, apply)
+		n, truncated, err := replayAOF(fs, filepath.Join(dir, aofName(g)), last, truncate, logf, apply)
 		if err != nil {
 			return 0, 0, stats, err
 		}
@@ -230,7 +241,7 @@ func recoverDir(dir string, logf func(format string, args ...any), truncate bool
 // HasState reports whether dir directly contains snapshot or AOF files
 // (subdirectories are not considered). A missing dir simply has no state.
 func HasState(dir string) (bool, error) {
-	snaps, aofs, err := scanDir(dir)
+	snaps, aofs, err := scanDir(defaultFS, dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return false, nil
@@ -250,7 +261,7 @@ func SnapshotPath(dir string, gen uint64) string {
 // (subdirectories and other files are untouched). Layout migrations call it
 // after the state has been re-staged elsewhere.
 func RemoveState(dir string) error {
-	snaps, aofs, err := scanDir(dir)
+	snaps, aofs, err := scanDir(defaultFS, dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil
@@ -492,7 +503,7 @@ func (c *Compaction) Commit(emit func(write func(Op) error) error) error {
 	}
 	c.done = true
 	m := c.m
-	_, werr := WriteSnapshotFile(filepath.Join(m.opts.Dir, snapName(c.gen)), emit)
+	_, werr := writeSnapshotFileFS(m.fs, filepath.Join(m.opts.Dir, snapName(c.gen)), emit)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.compacting = false
@@ -502,7 +513,7 @@ func (c *Compaction) Commit(emit func(write func(Op) error) error) error {
 	m.snapGen = c.gen
 	m.compactions++
 	m.removeStaleLocked(c.gen)
-	return syncDir(m.opts.Dir)
+	return syncDirFS(m.fs, m.opts.Dir)
 }
 
 // Compact runs BeginCompact and Commit back to back: a synchronous
@@ -514,6 +525,63 @@ func (m *Manager) Compact(emit func(write func(Op) error) error) error {
 		return err
 	}
 	return c.Commit(emit)
+}
+
+// Detach closes and drops the current journal segment handle without closing
+// the manager: appends start failing fast ("journal segment unavailable")
+// instead of hammering a broken disk, and NeedsCompaction reports true so the
+// next compaction opens a fresh segment. A degraded shard calls this when the
+// disk starts returning errors; the manager itself stays usable so the
+// prober's healing compaction can reattach it.
+func (m *Manager) Detach() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.aof != nil {
+		m.aof.Close() // best effort: the handle is already suspect
+		m.aof = nil
+		m.aofLen = 0
+	}
+}
+
+// Probe tests whether the data directory can take durable writes again:
+// create a scratch file, write, fsync, remove, all through the manager's FS
+// so injected faults govern the verdict. The prober calls this before
+// attempting a healing compaction — a cheap end-to-end disk check that
+// exercises exactly the syscalls a journal append needs.
+func (m *Manager) Probe() error {
+	if m.opts.DisableAOF {
+		return nil
+	}
+	m.mu.Lock()
+	fs, dir := m.fs, m.opts.Dir
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	path := filepath.Join(dir, ".probe")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: probe open: %w", err)
+	}
+	if _, err := f.Write([]byte("camp-probe")); err != nil {
+		f.Close()
+		fs.Remove(path)
+		return fmt.Errorf("persist: probe write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(path)
+		return fmt.Errorf("persist: probe sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(path)
+		return fmt.Errorf("persist: probe close: %w", err)
+	}
+	if err := fs.Remove(path); err != nil {
+		return fmt.Errorf("persist: probe remove: %w", err)
+	}
+	return nil
 }
 
 // Close flushes and syncs the journal and stops the background sync loop.
@@ -616,7 +684,7 @@ func (m *Manager) aofPath(gen uint64) string {
 // header sync — is reset to a fresh header.
 func (m *Manager) openAOFLocked(gen uint64) error {
 	path := m.aofPath(gen)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := m.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: open aof: %w", err)
 	}
@@ -652,7 +720,7 @@ func (m *Manager) openAOFLocked(gen uint64) error {
 // damaged tail is dropped with a warning, and — with truncate set — cut from
 // the file. Corruption anywhere else — a failed CRC or a tear in a non-final
 // segment — refuses recovery.
-func replayAOF(path string, last, truncate bool, logf func(format string, args ...any), apply func(Op) error) (ops int, truncated int64, err error) {
+func replayAOF(fs fault.FS, path string, last, truncate bool, logf func(format string, args ...any), apply func(Op) error) (ops int, truncated int64, err error) {
 	warnf := func(format string, args ...any) {
 		if logf != nil {
 			logf(format, args...)
@@ -662,9 +730,9 @@ func replayAOF(path string, last, truncate bool, logf func(format string, args .
 		if !truncate {
 			return nil
 		}
-		return os.Truncate(path, n)
+		return fs.Truncate(path, n)
 	}
-	data, err := os.ReadFile(path)
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("persist: read aof: %w", err)
 	}
@@ -716,25 +784,25 @@ func (m *Manager) removeStaleLocked(keepGen uint64) {
 			keepGen = tr.gen
 		}
 	}
-	snaps, aofs, err := scanDir(m.opts.Dir)
+	snaps, aofs, err := scanDir(m.fs, m.opts.Dir)
 	if err != nil {
 		return
 	}
 	for _, g := range snaps {
 		if g < keepGen {
-			os.Remove(m.snapPath(g))
+			m.fs.Remove(m.snapPath(g))
 		}
 	}
 	for _, g := range aofs {
 		if g < keepGen {
-			os.Remove(m.aofPath(g))
+			m.fs.Remove(m.aofPath(g))
 		}
 	}
 }
 
 // scanDir lists snapshot and AOF generations present in dir, ascending.
-func scanDir(dir string) (snaps, aofs []uint64, err error) {
-	ents, err := os.ReadDir(dir)
+func scanDir(fs fault.FS, dir string) (snaps, aofs []uint64, err error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("persist: read dir: %w", err)
 	}

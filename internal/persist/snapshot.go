@@ -7,8 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+
+	"camp/internal/fault"
 )
 
 // Snapshot format: an 8-byte magic, a uint32 format version, then a stream
@@ -170,20 +171,28 @@ func ReadSnapshot(r io.Reader, apply func(Op) error) (int, error) {
 	return entries, nil
 }
 
+// defaultFS is the real filesystem, used by the package-level helpers;
+// Manager methods go through their Options.FS so faults are injectable.
+var defaultFS = fault.OS()
+
 // WriteSnapshotFile writes a snapshot atomically: into a temp file in the
 // same directory, fsynced, then renamed over path, then the directory is
 // fsynced so the rename survives a crash. emit receives a write callback and
 // should call it once per live entry.
 func WriteSnapshotFile(path string, emit func(write func(Op) error) error) (n int, err error) {
+	return writeSnapshotFileFS(defaultFS, path, emit)
+}
+
+func writeSnapshotFileFS(fs fault.FS, path string, emit func(write func(Op) error) error) (n int, err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return 0, fmt.Errorf("persist: snapshot temp file: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fs.Remove(tmp.Name())
 		}
 	}()
 	sw, err := NewSnapshotWriter(tmp)
@@ -202,15 +211,19 @@ func WriteSnapshotFile(path string, emit func(write func(Op) error) error) (n in
 	if err = tmp.Close(); err != nil {
 		return 0, fmt.Errorf("persist: close snapshot: %w", err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
+	if err = fs.Rename(tmp.Name(), path); err != nil {
 		return 0, fmt.Errorf("persist: rename snapshot: %w", err)
 	}
-	return sw.Len(), syncDir(dir)
+	return sw.Len(), syncDirFS(fs, dir)
 }
 
 // LoadSnapshotFile reads the snapshot at path, applying every entry.
 func LoadSnapshotFile(path string, apply func(Op) error) (int, error) {
-	f, err := os.Open(path)
+	return loadSnapshotFileFS(defaultFS, path, apply)
+}
+
+func loadSnapshotFileFS(fs fault.FS, path string, apply func(Op) error) (int, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, err
 	}
@@ -222,13 +235,10 @@ func LoadSnapshotFile(path string, apply func(Op) error) (int, error) {
 	return n, nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("persist: open dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(dir string) error { return syncDirFS(defaultFS, dir) }
+
+func syncDirFS(fs fault.FS, dir string) error {
+	if err := fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("persist: sync dir: %w", err)
 	}
 	return nil

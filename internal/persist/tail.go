@@ -4,8 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"time"
+
+	"camp/internal/fault"
 )
 
 // SegmentHeaderLen is the byte length of an AOF segment header — the offset
@@ -48,7 +49,7 @@ type TailEvent struct {
 // retention hold) and is safe to call after the manager has closed.
 type TailReader struct {
 	m *Manager
-	f *os.File
+	f fault.File
 
 	// gen is also read by the manager's GC under m.mu; the owner goroutine
 	// only updates it while holding m.mu.
@@ -89,7 +90,7 @@ func (m *Manager) tailFromLocked(gen uint64, off int64) (*TailReader, error) {
 	if off < fileHeaderLen {
 		return nil, fmt.Errorf("%w: offset %d before segment header", ErrStalePosition, off)
 	}
-	f, err := os.Open(m.aofPath(gen))
+	f, err := m.fs.Open(m.aofPath(gen))
 	if err != nil {
 		return nil, fmt.Errorf("%w: generation %d gone", ErrStalePosition, gen)
 	}
@@ -125,7 +126,7 @@ func (m *Manager) tailFromLocked(gen uint64, off int64) (*TailReader, error) {
 type FullSyncSource struct {
 	SnapGen  uint64
 	SnapSize int64
-	Snapshot *os.File
+	Snapshot fault.File
 	Tail     *TailReader
 }
 
@@ -152,7 +153,7 @@ func (m *Manager) FullSync() (*FullSyncSource, error) {
 	}
 	fs := &FullSyncSource{SnapGen: m.snapGen}
 	if m.snapGen > 0 {
-		f, err := os.Open(m.snapPath(m.snapGen))
+		f, err := m.fs.Open(m.snapPath(m.snapGen))
 		if err != nil {
 			return nil, fmt.Errorf("persist: open snapshot: %w", err)
 		}
@@ -168,7 +169,7 @@ func (m *Manager) FullSync() (*FullSyncSource, error) {
 	// every retained segment is load-bearing: start from the oldest.
 	startGen := m.snapGen
 	if startGen == 0 {
-		_, aofs, err := scanDir(m.opts.Dir)
+		_, aofs, err := scanDir(m.fs, m.opts.Dir)
 		if err != nil {
 			if fs.Snapshot != nil {
 				fs.Snapshot.Close()
@@ -339,7 +340,7 @@ func (tr *TailReader) atEOF() (ev TailEvent, outcome int, waitCh <-chan struct{}
 		return ev, 0, nil, fmt.Errorf("%w: retired segment %d ends mid-record", ErrCorruptRecord, tr.gen)
 	}
 	next := tr.gen + 1
-	f, oerr := os.Open(m.aofPath(next))
+	f, oerr := m.fs.Open(m.aofPath(next))
 	if oerr != nil {
 		return ev, 0, nil, fmt.Errorf("%w: segment %d missing after %d", ErrStalePosition, next, tr.gen)
 	}
