@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
 
 # The checked-in allocs/op budget for the protocol hot path. The PR 2
 # baseline was 161 allocs per 20-op batch; the zero-allocation protocol
@@ -99,6 +99,7 @@ fuzz:
 	$(GO) test ./internal/persist/ -fuzz FuzzStreamFrames -fuzztime 30s
 	$(GO) test ./internal/kvserver/ -fuzz FuzzParseSyncReply -fuzztime 15s
 	$(GO) test ./internal/kvserver/ -fuzz FuzzParseSyncArgs -fuzztime 15s
+	$(GO) test ./internal/kvserver/ -fuzz FuzzParseTenantCommand -fuzztime 15s
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryReader -fuzztime 30s
 
 # CI smoke fuzz: a few seconds per persistence-format decoder on every PR,

@@ -5,6 +5,7 @@
 //
 //	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
 //	        [-shards N] [-precision 5] [-no-iq] [-replica-of host:port]
+//	        [-tenant-reserve name=bytes ...]
 //	        [-data-dir /var/lib/campsrv [-aof=true] [-fsync everysec]
 //	         [-snapshot-interval 5m] [-aof-limit 64MiB]]
 //
@@ -32,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -66,12 +68,15 @@ func run() error {
 		maxConns = flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited); accepts beyond the cap are refused and counted in accept_rejected_maxconns")
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown: how long in-flight pipelines may finish after SIGTERM before straggler connections are closed")
 
+		reserves = tenantReserves{}
+
 		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
 		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
 		fsync    = flag.String("fsync", persist.FsyncEverySec, "AOF sync policy: always, everysec or no")
 		snapshot = flag.Duration("snapshot-interval", 0, "background snapshot period (0 = size-triggered only)")
 		aofLimit = flag.String("aof-limit", "", "AOF size triggering compaction (default 64MiB)")
 	)
+	flag.Var(&reserves, "tenant-reserve", "reserve memory for a tenant as name=bytes (e.g. -tenant-reserve gold=16MiB); repeatable, byte mode only")
 	flag.Parse()
 
 	bytes, err := parseSize(*mem)
@@ -92,6 +97,9 @@ func run() error {
 		MaxConns:    *maxConns,
 		ReplicaOf:   *replicaOf,
 		MetricsAddr: *metricsAddr,
+	}
+	if len(reserves) > 0 {
+		cfg.TenantReserves = reserves
 	}
 	switch {
 	case *slowlogMS < 0:
@@ -165,6 +173,35 @@ func defaultShards(memBytes int64) int {
 		n = 1
 	}
 	return n
+}
+
+// tenantReserves implements flag.Value for the repeatable -tenant-reserve
+// name=bytes flag, accumulating into the map handed to Config.TenantReserves.
+type tenantReserves map[string]int64
+
+func (r tenantReserves) String() string {
+	if len(r) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(r))
+	for name, b := range r {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, b))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (r tenantReserves) Set(s string) error {
+	name, size, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("bad tenant reserve %q (want name=bytes)", s)
+	}
+	b, err := parseSize(size)
+	if err != nil {
+		return err
+	}
+	r[name] = b
+	return nil
 }
 
 // parseSize parses sizes like "512KiB", "64MiB", "2GiB" or plain bytes.

@@ -176,6 +176,20 @@ type PriorityScaled interface {
 	RestorePriorityScale(scale uint64)
 }
 
+// VictimPeeker is implemented by policies that can name their next eviction
+// victim — and how much that victim is still worth — without mutating any
+// state. The urgency is the victim's priority offset above the policy's
+// global floor (H − L for CAMP and GDS: the marginal cost-per-byte value the
+// policy would give up by evicting it; always 0 for LRU, which values all
+// victims equally). A multi-tenant arbiter compares urgencies across tenant
+// policies and takes memory from the tenant whose next victim is worth the
+// least, Memshare-style.
+type VictimPeeker interface {
+	// PeekVictim returns the entry EvictOne would remove next and its
+	// urgency; ok is false when the policy is empty.
+	PeekVictim() (e Entry, urgency float64, ok bool)
+}
+
 // QueueCounter is implemented by policies organized as multiple queues
 // (CAMP); it powers Figures 5b and 8c.
 type QueueCounter interface {

@@ -21,7 +21,10 @@ type lruEntry struct {
 	cost int64
 }
 
-var _ Policy = (*LRU)(nil)
+var (
+	_ Policy       = (*LRU)(nil)
+	_ VictimPeeker = (*LRU)(nil)
+)
 
 // NewLRU returns an LRU policy with the given byte capacity.
 func NewLRU(capacity int64) *LRU {
@@ -146,6 +149,16 @@ func (c *LRU) VisitEvictionOrder(visit func(Entry) bool) {
 			return
 		}
 	}
+}
+
+// PeekVictim implements VictimPeeker: the least recently used item, with
+// urgency 0 — LRU has no notion of one victim being worth more than another.
+func (c *LRU) PeekVictim() (Entry, float64, bool) {
+	n := c.queue.Front()
+	if n == nil {
+		return Entry{}, 0, false
+	}
+	return Entry{Key: n.Value.key, Size: n.Value.size, Cost: n.Value.cost}, 0, true
 }
 
 // Victim returns the key next in line for eviction, for tests.

@@ -74,6 +74,7 @@ type campQueue struct {
 func (q *campQueue) head() *campEntry { return q.list.Front().Value }
 
 var _ cache.Policy = (*Camp)(nil)
+var _ cache.VictimPeeker = (*Camp)(nil)
 var _ cache.HeapVisitor = (*Camp)(nil)
 var _ cache.QueueCounter = (*Camp)(nil)
 var _ cache.PriorityOrdered = (*Camp)(nil)
@@ -298,6 +299,19 @@ func (c *Camp) EvictOne() (cache.Entry, bool) {
 		c.onEvict(e)
 	}
 	return e, true
+}
+
+// PeekVictim implements cache.VictimPeeker: the head of the heap-minimum
+// LRU queue, with urgency H − L — the rounded cost-per-byte value the cache
+// would forfeit by evicting it now.
+func (c *Camp) PeekVictim() (cache.Entry, float64, bool) {
+	q, ok := c.heap.Peek()
+	if !ok {
+		return cache.Entry{}, 0, false
+	}
+	victim := q.head()
+	e := cache.Entry{Key: victim.key, Size: victim.size, Cost: victim.cost}
+	return e, float64(victim.h - c.l), true
 }
 
 // Delete implements cache.Policy.

@@ -45,6 +45,7 @@ type gdsEntry struct {
 }
 
 var _ cache.Policy = (*GDS)(nil)
+var _ cache.VictimPeeker = (*GDS)(nil)
 var _ cache.HeapVisitor = (*GDS)(nil)
 var _ cache.PriorityOrdered = (*GDS)(nil)
 
@@ -198,6 +199,17 @@ func (g *GDS) EvictOne() (cache.Entry, bool) {
 		g.onEvict(e)
 	}
 	return e, true
+}
+
+// PeekVictim implements cache.VictimPeeker: the minimum-H item, with
+// urgency H − L — the cost-per-byte value GDS would forfeit by evicting it.
+func (g *GDS) PeekVictim() (cache.Entry, float64, bool) {
+	top, ok := g.heap.Peek()
+	if !ok {
+		return cache.Entry{}, 0, false
+	}
+	e := cache.Entry{Key: top.key, Size: top.size, Cost: top.cost}
+	return e, top.h - g.l, true
 }
 
 // Delete implements cache.Policy.

@@ -64,6 +64,43 @@ func Dial(addr string) (*Client, error) {
 	}, nil
 }
 
+// DialWithTenant connects to a kvserver and scopes the connection to the
+// named tenant ("default" restores the namespace legacy clients use).
+func DialWithTenant(addr, tenant string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Tenant(tenant); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Tenant switches this connection (and the attached replica connection, if
+// any) to the named tenant. The scope is per connection and sticks until the
+// next Tenant call; a bare FlushAll after this clears only this tenant.
+func (c *Client) Tenant(name string) error {
+	if c.replica != nil {
+		if err := c.replica.Tenant(name); err != nil {
+			return err
+		}
+	}
+	if err := c.writeLineCmd("tenant", name); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	want := "TENANT " + name
+	if string(line) != want {
+		return fmt.Errorf("%w: unexpected tenant response %q", ErrServer, line)
+	}
+	return nil
+}
+
 // DialWithReplica connects to a primary and one of its replicas, returning a
 // client that serves reads (Get, MultiGet, MultiGetFunc) from the replica
 // while everything else — writes, stats, admin — goes to the primary. The
@@ -411,6 +448,12 @@ func (c *Client) Stats() (map[string]string, error) {
 	return c.statLines("stats\r\n")
 }
 
+// StatsTenants fetches the per-tenant accounting ("stats tenants":
+// tenant:<name>:<field> lines) as a map.
+func (c *Client) StatsTenants() (map[string]string, error) {
+	return c.statLines("stats tenants\r\n")
+}
+
 // statLines sends one command and collects its STAT lines until END.
 func (c *Client) statLines(cmd string) (map[string]string, error) {
 	if _, err := c.w.WriteString(cmd); err != nil {
@@ -544,9 +587,21 @@ func (c *Client) Debug(key string) (string, bool, error) {
 	return string(line), true, nil
 }
 
-// FlushAll empties the server.
+// FlushAll empties the connection's current tenant (every tenant's data, on
+// a connection that never switched off the default tenant-scoping rules —
+// see FlushAllTenants for the unconditional form).
 func (c *Client) FlushAll() error {
-	if _, err := c.w.WriteString("flush_all\r\n"); err != nil {
+	return c.flushCmd("flush_all\r\n")
+}
+
+// FlushAllTenants empties the whole server — every tenant's entries — via
+// the explicit "flush_all all" admin form.
+func (c *Client) FlushAllTenants() error {
+	return c.flushCmd("flush_all all\r\n")
+}
+
+func (c *Client) flushCmd(cmd string) error {
+	if _, err := c.w.WriteString(cmd); err != nil {
 		return err
 	}
 	if err := c.w.Flush(); err != nil {

@@ -3,6 +3,7 @@ package kvserver
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 	"testing"
 
@@ -28,6 +29,112 @@ func BenchmarkServerOps(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchServerOps(b, shards)
 		})
+	}
+}
+
+// BenchmarkServerOpsTenants is the two-tenant variant: half the clients run
+// as a reserved "prod" tenant over a fully warmed keyspace, half as a
+// best-effort "batch" tenant warmed to only half its keyspace, so the run
+// exercises the namespaced hot path and the per-tenant accounting under the
+// same pipelined batch workload. Besides ops/s it reports each tenant's
+// lifetime hit rate from the server's own counters — the per-tenant figures
+// committed in the BENCH report.
+func BenchmarkServerOpsTenants(b *testing.B) {
+	s, err := New(Config{
+		MemoryBytes:    256 << 20,
+		Shards:         4,
+		Policy:         "camp",
+		DisableIQ:      true,
+		TenantReserves: map[string]int64{"prod": 64 << 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	value := make([]byte, benchValueLen)
+	warmTenant := func(name string, keys int) {
+		warm, err := kvclient.DialWithTenant(s.Addr(), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer warm.Close()
+		for i := 0; i < keys; i++ {
+			if err := warm.SetNoreply(benchKeySet[i], value, 0, 0, int64(1+i%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := warm.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.Version(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmTenant("prod", benchKeys)
+	warmTenant("batch", benchKeys/2)
+
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		n := seed.Add(1)
+		name := "prod"
+		if n%2 == 0 {
+			name = "batch"
+		}
+		c, err := kvclient.DialWithTenant(s.Addr(), name)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(n))
+		batch := make([]string, benchBatchGets)
+		var got int
+		sink := func(key, value []byte, flags uint32) { got += len(value) }
+		for pb.Next() {
+			for i := range batch {
+				batch[i] = benchKeySet[rng.Intn(benchKeys)]
+			}
+			if err := c.MultiGetFunc(sink, batch...); err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < benchBatchSets; i++ {
+				if err := c.SetNoreply(benchKeySet[rng.Intn(benchKeys)], value, 0, 0, int64(1+rng.Intn(100))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	opsPerIter := float64(benchBatchGets + benchBatchSets)
+	b.ReportMetric(opsPerIter*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.StopTimer()
+	lc, err := kvclient.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	ts, err := lc.StatsTenants()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"prod", "batch"} {
+		hits, _ := strconv.ParseFloat(ts["tenant:"+name+":hits"], 64)
+		misses, _ := strconv.ParseFloat(ts["tenant:"+name+":misses"], 64)
+		if hits+misses > 0 {
+			b.ReportMetric(hits/(hits+misses), "hitrate_"+name)
+		}
 	}
 }
 

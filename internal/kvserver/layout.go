@@ -104,7 +104,12 @@ func (s *Server) openPersistence() error {
 					sh.replPos = op.Pos
 					return nil
 				case persist.KindFlush:
-					sh.replPos = persist.Position{}
+					// Only the keyless (global) flush marks a bootstrap; a
+					// keyed tenant flush is an ordinary data op that leaves
+					// the stream position meaningful.
+					if op.Key == "" {
+						sh.replPos = persist.Position{}
+					}
 				}
 				return sh.store.restore(op)
 			}
@@ -186,11 +191,23 @@ func (s *Server) migrate(dir string, legacy bool, oldIdx []int) error {
 			switch op.Kind {
 			case persist.KindFlush:
 				for k := range applied {
+					if op.Key != "" && !keyInTenant(op.Key, k) {
+						continue // tenant-scoped flush leaves other namespaces
+					}
 					if err := s.shardFor(k).store.restore(persist.Op{Kind: persist.KindDelete, Key: k}); err != nil {
 						return err
 					}
+					delete(applied, k)
 				}
-				clear(applied)
+				return nil
+			case persist.KindTenant:
+				// Tenant records have no key to route by: every new shard
+				// learns the tenant and its quota, like scale records.
+				for _, sh := range s.shards {
+					if err := sh.store.restore(op); err != nil {
+						return err
+					}
+				}
 				return nil
 			case persist.KindScale:
 				// Policy-level state with no key to route by: every new

@@ -103,7 +103,7 @@ func (s *Server) observe(v verbID, shardIdx int, key []byte, d time.Duration, st
 }
 
 var (
-	replyBadStats   = []byte("CLIENT_ERROR bad stats command (want latency or shards)\r\n")
+	replyBadStats   = []byte("CLIENT_ERROR bad stats command (want latency, shards or tenants)\r\n")
 	replyBadSlowlog = []byte("CLIENT_ERROR bad slowlog command (want get, reset or threshold <ms>)\r\n")
 )
 
@@ -358,6 +358,40 @@ func (s *Server) buildRegistry() {
 		func(info persist.Info) float64 { return float64(info.AOFSize) })
 	journalGauge("camp_shard_compactions_total", "Snapshot-compaction cycles per shard.", metrics.TypeCounter,
 		func(info persist.Info) float64 { return float64(info.Compactions) })
+
+	// Per-tenant families, labeled by tenant name. Residency figures sum
+	// across shards (one shard lock at a time); the read counters come from
+	// the registry's lifetime atomics. The default tenant is always present,
+	// so single-tenant deployments scrape a stable one-series family.
+	tenantUsage := func(name, help, typ string, get func(tt tenantTotals, tname string) float64) {
+		r.Register(name, help, typ, func(tw *metrics.TextWriter) {
+			tt := s.collectTenantTotals()
+			for _, t := range s.tenants.list() {
+				tw.Sample("", get(tt, t.name), "tenant", t.name)
+			}
+		})
+	}
+	tenantUsage("camp_tenant_bytes", "Bytes resident per tenant.", metrics.TypeGauge,
+		func(tt tenantTotals, tname string) float64 { return float64(tt.used[tname]) })
+	tenantUsage("camp_tenant_items", "Items resident per tenant.", metrics.TypeGauge,
+		func(tt tenantTotals, tname string) float64 { return float64(tt.items[tname]) })
+	tenantUsage("camp_tenant_evictions_total", "Policy evictions per tenant since its last flush.", metrics.TypeCounter,
+		func(tt tenantTotals, tname string) float64 { return float64(tt.evictions[tname]) })
+	tenantCounter := func(name, help, typ string, get func(t *tenant) float64) {
+		r.Register(name, help, typ, func(tw *metrics.TextWriter) {
+			for _, t := range s.tenants.list() {
+				tw.Sample("", get(t), "tenant", t.name)
+			}
+		})
+	}
+	tenantCounter("camp_tenant_reserved_bytes", "Configured reserved quota per tenant.", metrics.TypeGauge,
+		func(t *tenant) float64 { return float64(t.reserve.Load()) })
+	tenantCounter("camp_tenant_hits_total", "Get hits per tenant.", metrics.TypeCounter,
+		func(t *tenant) float64 { return float64(t.hits.Load()) })
+	tenantCounter("camp_tenant_misses_total", "Get misses per tenant.", metrics.TypeCounter,
+		func(t *tenant) float64 { return float64(t.misses.Load()) })
+	tenantCounter("camp_tenant_cost_saved_total", "Summed cost of get hits per tenant (the CAMP objective).", metrics.TypeCounter,
+		func(t *tenant) float64 { return float64(t.costSaved.Load()) })
 
 	r.Register("camp_slowlog_entries", "Slow commands currently retained.", metrics.TypeGauge,
 		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.metrics.slowlog.Len())) })

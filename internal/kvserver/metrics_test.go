@@ -53,6 +53,13 @@ var requiredFamilies = []string{
 	"camp_repl_applied_ops_total",
 	"camp_repl_lag_seconds",
 	"camp_repl_durable_position",
+	"camp_tenant_bytes",
+	"camp_tenant_items",
+	"camp_tenant_evictions_total",
+	"camp_tenant_reserved_bytes",
+	"camp_tenant_hits_total",
+	"camp_tenant_misses_total",
+	"camp_tenant_cost_saved_total",
 }
 
 // TestMetricsGate is the live-scrape gate `make metrics-gate` runs in CI: a
@@ -103,6 +110,8 @@ func TestMetricsGate(t *testing.T) {
 		`camp_shard_items{shard="1"} `,
 		`camp_connections_current 1`,
 		`camp_limit_bytes 1048576`,
+		`camp_tenant_bytes{tenant="default"} `,
+		`camp_tenant_hits_total{tenant="default"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -154,6 +163,7 @@ func TestStatsLineSet(t *testing.T) {
 		"curr_items", "bytes", "limit_maxbytes", "evictions",
 		"expired_reclaimed", "iq_miss_table_entries",
 		"policy", "mode", "shards", "role", "rejected_sets", "camp_queues",
+		"tenants",
 	}
 	got := make([]string, 0, len(stats))
 	for k := range stats {

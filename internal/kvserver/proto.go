@@ -42,6 +42,36 @@ type connState struct {
 	// recording. Reused across commands, so neither allocates.
 	shardIdx int
 	slowKey  []byte
+
+	// tenant is the connection's current tenant, resolved once by the
+	// tenant verb; nil means the default tenant (the state every
+	// connection starts in). nsKey is scratch for building namespaced
+	// store keys, so the hot path adds no allocations.
+	tenant *tenant
+	nsKey  []byte
+}
+
+// nsKeyFor maps a wire key into the connection tenant's namespace: bare for
+// the default tenant (legacy layouts stay byte-identical), name+NUL-prefixed
+// for any other, built in pooled scratch.
+func (cs *connState) nsKeyFor(key []byte) []byte {
+	t := cs.tenant
+	if t == nil || t.prefix == "" {
+		return key
+	}
+	b := append(cs.nsKey[:0], t.prefix...)
+	b = append(b, key...)
+	cs.nsKey = b
+	return b
+}
+
+// keyPrefixLen is how many namespace bytes prefix this connection's stored
+// keys — what VALUE lines strip so clients see the keys they sent.
+func (cs *connState) keyPrefixLen() int {
+	if cs.tenant == nil {
+		return 0
+	}
+	return len(cs.tenant.prefix)
 }
 
 var connStatePool = sync.Pool{
@@ -80,6 +110,11 @@ func putConnState(cs *connState) {
 	if cap(cs.out) > maxPooledScratch {
 		cs.out = make([]byte, 0, 512)
 	}
+	cs.tenant = nil
+	if cap(cs.nsKey) > maxPooledScratch {
+		cs.nsKey = nil
+	}
+	cs.nsKey = cs.nsKey[:0]
 	connStatePool.Put(cs)
 }
 

@@ -846,11 +846,9 @@ func (sr *shardReplica) bootstrap(r io.Reader, size int64) error {
 	staged.expiredReclaimed += old.expiredReclaimed
 	staged.evictedBase += old.evictedBase
 	staged.rejectedBase += old.rejectedBase
-	if old.policy != nil {
-		stats := old.policy.Stats()
-		staged.evictedBase += stats.Evictions
-		staged.rejectedBase += stats.Rejected
-	}
+	oldEv, oldRej := old.policyLifetime()
+	staged.evictedBase += oldEv
+	staged.rejectedBase += oldRej
 	sh.store = staged
 	sh.missedAt = make(map[string]time.Time)
 	// The old position described the old store; the bootstrap's stream

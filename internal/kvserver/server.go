@@ -7,7 +7,14 @@
 //	set <key> <flags> <exptime> <bytes> [cost] [noreply]\r\n<data>\r\n
 //	get <key> [<key> ...]\r\n
 //	delete <key> [noreply]\r\n
-//	stats\r\n    flush_all\r\n    version\r\n    debug <key>\r\n    quit\r\n
+//	tenant [<name>]\r\n
+//	stats\r\n    flush_all [all]\r\n    version\r\n    debug <key>\r\n    quit\r\n
+//
+// The server is multi-tenant: "tenant <name>" scopes a connection to a
+// namespace, each tenant can reserve memory (Config.TenantReserves), and a
+// Memshare-style arbiter shares the rest by marginal eviction priority; see
+// tenants.go. Connections that never issue the verb live on the default
+// tenant with pre-tenancy semantics, byte for byte.
 //
 // In IQ mode (default) the server timestamps every get miss; when the
 // subsequent set for that key arrives without an explicit cost, the elapsed
@@ -40,6 +47,7 @@ package kvserver
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -129,6 +137,18 @@ type Config struct {
 	// count must match the primary's. The replica serves reads (and rejects
 	// mutations) while replicating; "replica promote" makes it the primary.
 	ReplicaOf string
+	// TenantReserves maps tenant names to reserved bytes (byte mode only).
+	// A tenant holding no more than its reserve is never evicted by another
+	// tenant's churn; unreserved capacity is a shared pool arbitrated by
+	// marginal eviction priority. Reserves must sum to at most MemoryBytes.
+	// Values here override quotas recovered from the journal.
+	TenantReserves map[string]int64
+
+	// tenants and shardSlot are threaded through the per-shard Config
+	// copies so each store can reach the server's tenant registry and
+	// compute its slice of a reserve; set by New, never by callers.
+	tenants   *tenantRegistry
+	shardSlot int
 }
 
 // PersistConfig configures the internal/persist subsystem for a Server.
@@ -172,6 +192,10 @@ type Server struct {
 
 	shards   []*shard
 	counters counters
+
+	// tenants is the server-wide tenant registry (tenants.go); the default
+	// tenant always exists.
+	tenants *tenantRegistry
 
 	// Instrumentation: per-verb histograms, slowlog and the Prometheus
 	// registry (metrics.go); started anchors the uptime stat; metricsLn and
@@ -239,8 +263,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxValueBytes == 0 {
 		cfg.MaxValueBytes = 8 << 20
 	}
+	if len(cfg.TenantReserves) > 0 {
+		if cfg.Mode != ModeByte {
+			return nil, fmt.Errorf("%w: tenant reserves require byte mode", errBadConfig)
+		}
+		var sum int64
+		for name, res := range cfg.TenantReserves {
+			if _, ok := parseTenantName([]byte(name)); !ok {
+				return nil, fmt.Errorf("%w: bad tenant name %q", errBadConfig, name)
+			}
+			if res < 0 {
+				return nil, fmt.Errorf("%w: negative reserve for tenant %q", errBadConfig, name)
+			}
+			sum += res
+		}
+		if sum > cfg.MemoryBytes {
+			return nil, fmt.Errorf("%w: tenant reserves (%d bytes) exceed MemoryBytes (%d)", errBadConfig, sum, cfg.MemoryBytes)
+		}
+	}
+	cfg.tenants = newTenantRegistry()
 	s := &Server{
 		cfg:     cfg,
+		tenants: cfg.tenants,
 		conns:   make(map[net.Conn]struct{}),
 		feeds:   make(map[*feedStat]struct{}),
 		started: time.Now(),
@@ -260,6 +304,7 @@ func New(cfg Config) (*Server, error) {
 		if i == 0 {
 			shardCfg.MemoryBytes += rem
 		}
+		shardCfg.shardSlot = i
 		st, err := newStore(shardCfg)
 		if err != nil {
 			return nil, err
@@ -287,6 +332,14 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(2)
 		go s.compactorLoop(p.SnapshotInterval)
 		go s.proberLoop(p.ProbeMin, p.ProbeMax)
+	}
+	// Configured reserves apply after recovery, so operator flags win over
+	// journaled quotas; journaling them back makes a flag-created tenant
+	// durable even before its first key.
+	for name, res := range cfg.TenantReserves {
+		t, _ := s.tenants.ensure(name)
+		t.reserve.Store(res)
+		s.journalTenant(t)
 	}
 	if cfg.ReplicaOf != "" {
 		s.readOnly.Store(true)
@@ -703,11 +756,23 @@ func (s *Server) dispatchCmd(toks [][]byte, cs *connState) (quit bool, fatal err
 		return false, s.handleStats(toks[1:], cs)
 	case "slowlog":
 		return false, s.handleSlowlog(toks[1:], cs)
+	case "tenant":
+		return false, s.handleTenant(toks[1:], cs)
 	case "flush_all":
+		// Bare flush_all scopes to the connection's tenant; the explicit
+		// "flush_all all" admin form clears every tenant.
 		if rejected, err := s.rejectReadOnly(cs, false); rejected || err != nil {
 			return false, err
 		}
-		s.handleFlushAll()
+		switch {
+		case len(toks) == 1:
+			s.handleFlushAll(s.tenantOf(cs))
+		case len(toks) == 2 && string(toks[1]) == "all":
+			s.handleFlushAll(nil)
+		default:
+			_, err := cs.w.Write(replyBadFlush)
+			return false, err
+		}
 		_, err := cs.w.Write(replyOK)
 		return false, err
 	case "version":
@@ -744,17 +809,30 @@ func (s *Server) rejectReadOnly(cs *connState, noreply bool) (rejected bool, err
 	return true, err
 }
 
-// handleFlushAll empties every shard. Each shard flushes atomically under
-// its own lock and journals a flush record (making the emptiness durable
+// handleFlushAll empties every shard — all of it when t is nil (the
+// "flush_all all" admin form, journaled as the legacy keyless flush record),
+// or one tenant's namespace when t names one (journaled keyed, so replicas
+// and warm restarts replay the same scoping). Each shard flushes atomically
+// under its own lock and journals the record (making the emptiness durable
 // even if the compaction below fails); across shards the flush is not a
 // single atomic point — a concurrent writer may land a set on an
 // already-flushed shard — matching multi-node memcached semantics.
-func (s *Server) handleFlushAll() {
+func (s *Server) handleFlushAll(t *tenant) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		sh.store.flush()
-		sh.missedAt = make(map[string]time.Time)
-		sh.journalLocked(persist.Op{Kind: persist.KindFlush})
+		if t == nil {
+			sh.store.flush()
+			sh.missedAt = make(map[string]time.Time)
+			sh.journalLocked(persist.Op{Kind: persist.KindFlush})
+		} else {
+			sh.store.flushTenant(t.name)
+			for k := range sh.missedAt {
+				if tenantOwnsKey(t, k) {
+					delete(sh.missedAt, k)
+				}
+			}
+			sh.journalLocked(persist.Op{Kind: persist.KindFlush, Key: t.name})
+		}
 		sh.mu.Unlock()
 		// Compact synchronously (off-lock) so the truncated journal is on
 		// disk by the time the client sees OK, as before sharding.
@@ -770,27 +848,41 @@ func (s *Server) handleGet(keys [][]byte, cs *connState) error {
 	}
 	// One cmd_get per command, as memcached counts it; hits and misses stay
 	// per-key. A multiget charges the first key's shard, one histogram
-	// observation per command.
+	// observation per command. Keys namespace through the connection's
+	// tenant (pooled scratch, no allocation); a key containing the NUL
+	// namespace delimiter could forge another tenant's prefix, so it is
+	// answered as a miss without touching the store.
 	s.counters.cmdGet.Add(1)
-	cs.shardIdx = shardIndex(keys[0], len(s.shards))
+	tn := s.tenantOf(cs)
+	pfx := cs.keyPrefixLen()
+	cs.shardIdx = shardIndex(cs.nsKeyFor(keys[0]), len(s.shards))
 	hits := cs.hits[:0]
 	now := time.Now()
 	for _, k := range keys {
-		sh := s.shardForBytes(k)
+		if bytes.IndexByte(k, 0) >= 0 {
+			s.counters.getMisses.Add(1)
+			tn.misses.Add(1)
+			continue
+		}
+		nk := cs.nsKeyFor(k)
+		sh := s.shardForBytes(nk)
 		sh.mu.Lock()
-		it, ok := sh.store.getBytes(k, now)
+		it, ok := sh.store.getBytes(nk, now)
 		if !ok {
 			if !s.cfg.DisableIQ {
-				sh.recordMissLocked(string(k), now)
+				sh.recordMissLocked(string(nk), now)
 			}
 			sh.mu.Unlock()
 			s.counters.getMisses.Add(1)
+			tn.misses.Add(1)
 			continue
 		}
 		// Stored values (and the item's key string) are never mutated in
 		// place, so the references stay valid after the lock drops.
 		sh.mu.Unlock()
 		s.counters.getHits.Add(1)
+		tn.hits.Add(1)
+		tn.costSaved.Add(uint64(it.cost))
 		hits = append(hits, it)
 	}
 	// Keep the grown slot capacity but drop the item references once the
@@ -804,7 +896,7 @@ func (s *Server) handleGet(keys [][]byte, cs *connState) error {
 	}()
 	for _, it := range hits {
 		out := append(cs.out[:0], "VALUE "...)
-		out = append(out, it.key...)
+		out = append(out, it.key[pfx:]...)
 		out = append(out, ' ')
 		out = strconv.AppendUint(out, uint64(it.flags), 10)
 		out = append(out, ' ')
@@ -884,9 +976,13 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 		}
 		return nil
 	}
-	// The tokens alias the read buffer: materialize the key before the
-	// payload read below invalidates them.
-	key := string(args[0])
+	if bytes.IndexByte(args[0], 0) >= 0 {
+		// A NUL could forge another tenant's namespace prefix.
+		return s.storeError(cs, cmd, nbytes, noreply, "key")
+	}
+	// The tokens alias the read buffer: materialize the (namespaced) key
+	// before the payload read below invalidates them.
+	key := string(cs.nsKeyFor(args[0]))
 	value := make([]byte, nbytes)
 	if _, err := io.ReadFull(cs.r, value); err != nil {
 		return err
@@ -1027,7 +1123,14 @@ func (s *Server) handleArith(incr bool, args [][]byte, cs *connState) error {
 	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
-	key := string(args[0])
+	if bytes.IndexByte(args[0], 0) >= 0 {
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadKey)
+		return err
+	}
+	key := string(cs.nsKeyFor(args[0]))
 	now := time.Now()
 	if incr {
 		s.counters.cmdIncr.Add(1)
@@ -1080,7 +1183,14 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
-	key := string(args[0])
+	if bytes.IndexByte(args[0], 0) >= 0 {
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadKey)
+		return err
+	}
+	key := string(cs.nsKeyFor(args[0]))
 	now := time.Now()
 	s.counters.cmdTouch.Add(1)
 	sh := s.shardForOp(key, cs)
@@ -1123,7 +1233,14 @@ func (s *Server) handleDelete(args [][]byte, cs *connState) error {
 	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
-	key := string(args[0])
+	if bytes.IndexByte(args[0], 0) >= 0 {
+		if noreply {
+			return nil
+		}
+		_, err := w.Write(replyBadKey)
+		return err
+	}
+	key := string(cs.nsKeyFor(args[0]))
 	s.counters.cmdDelete.Add(1)
 	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
@@ -1152,6 +1269,8 @@ func (s *Server) handleStats(args [][]byte, cs *connState) error {
 			return s.handleStatsLatency(cs)
 		case "shards":
 			return s.handleStatsShards(cs)
+		case "tenants":
+			return s.handleStatsTenants(cs)
 		default:
 			_, err := cs.w.Write(replyBadStats)
 			return err
@@ -1209,6 +1328,7 @@ func (s *Server) handleStats(args [][]byte, cs *connState) error {
 	out = appendStatStr(out, "policy", s.shards[0].store.policyName())
 	out = appendStatStr(out, "mode", s.cfg.Mode)
 	out = appendStatInt(out, "shards", int64(len(s.shards)))
+	out = appendStatInt(out, "tenants", int64(s.tenants.count()))
 	role := "primary"
 	if s.readOnly.Load() {
 		role = "replica"
@@ -1283,7 +1403,11 @@ func (s *Server) handleDebug(args [][]byte, cs *connState) error {
 		_, err := w.Write(replyDebugNoKey)
 		return err
 	}
-	key := args[0]
+	if bytes.IndexByte(args[0], 0) >= 0 {
+		_, err := w.Write(replyNotFound)
+		return err
+	}
+	key := cs.nsKeyFor(args[0])
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
 	it, meta, ok := sh.store.peekBytes(key)
@@ -1297,7 +1421,7 @@ func (s *Server) handleDebug(args [][]byte, cs *connState) error {
 		return err
 	}
 	out := append(cs.out[:0], "DEBUG "...)
-	out = append(out, key...)
+	out = append(out, args[0]...)
 	out = append(out, " size="...)
 	out = strconv.AppendInt(out, meta.Size, 10)
 	out = append(out, " cost="...)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"time"
 
 	"camp/internal/alloc"
@@ -25,6 +27,10 @@ type item struct {
 	expiresAt time.Time // zero means no expiry
 	handle    alloc.Handle
 	buddyOff  int64
+	// cost is the admission cost the policy charged for this entry, kept
+	// here so per-tenant cost-saved accounting on the get path needs no
+	// policy lookup.
+	cost int64
 }
 
 // store manages items under one of the three §5 memory-management schemes.
@@ -32,9 +38,12 @@ type store struct {
 	cfg   Config
 	items map[string]*item
 
-	// byte and buddy modes.
+	// byte and buddy modes. policy is the default tenant's; byte mode may
+	// additionally carry one policy per non-default tenant in tens, with
+	// the store-level arbiter (makeRoom) enforcing the shared capacity.
 	policy  cache.Policy
 	evicter cache.Evicter
+	tens    map[string]*tenantState
 
 	// slab mode (Twemcache layout: per-class LRU ordering).
 	slab     *alloc.SlabAllocator
@@ -138,6 +147,210 @@ func (st *store) itemSize(key string, value []byte) int64 {
 	return int64(len(key)) + int64(len(value)) + st.cfg.ItemOverhead
 }
 
+// tenantState is one non-default tenant's slice of a shard: its own instance
+// of the configured eviction policy (sized to the whole shard — the
+// store-level arbiter in makeRoom enforces the real shared limit) plus the
+// registry entry carrying its reserve and lifetime counters.
+type tenantState struct {
+	t       *tenant
+	policy  cache.Policy
+	evicter cache.Evicter
+}
+
+// ensureTenant creates (or returns) the per-shard policy state for a
+// non-default tenant. Byte mode only: the slab and buddy layouts refuse the
+// tenant verb at the protocol layer, and under them a restored namespaced
+// key is served as a plain key with no isolation. The caller holds the shard
+// mutex.
+func (st *store) ensureTenant(name string) *tenantState {
+	if name == defaultTenantName || st.cfg.tenants == nil || st.slab != nil || st.buddy != nil {
+		return nil
+	}
+	if ts, ok := st.tens[name]; ok {
+		return ts
+	}
+	t, _ := st.cfg.tenants.ensure(name)
+	p, err := buildPolicy(st.cfg, st.cfg.MemoryBytes)
+	if err != nil {
+		// The config was already validated at construction.
+		panic("kvserver: tenant policy build failed: " + err.Error())
+	}
+	p.SetEvictFunc(st.onPolicyEvict)
+	ts := &tenantState{t: t, policy: p}
+	ts.evicter, _ = p.(cache.Evicter)
+	if st.tens == nil {
+		st.tens = make(map[string]*tenantState)
+	}
+	st.tens[name] = ts
+	return ts
+}
+
+// policyFor routes a stored key to the policy that owns it: the tenant named
+// by the key's NUL-delimited prefix, or the default policy for bare keys.
+// With no tenant states — the single-tenant fast path — the byte scan is
+// skipped entirely: no namespaced key can be resident then.
+func (st *store) policyFor(key string) cache.Policy {
+	if len(st.tens) == 0 {
+		return st.policy
+	}
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		if ts := st.ensureTenant(key[:i]); ts != nil {
+			return ts.policy
+		}
+	}
+	return st.policy
+}
+
+// shardReserve is this shard's slice of a tenant's server-wide reserve: an
+// even split with shard 0 absorbing the remainder, mirroring how New splits
+// capacity.
+func (st *store) shardReserve(total int64) int64 {
+	n := int64(st.cfg.Shards)
+	if n <= 1 {
+		return total
+	}
+	per := total / n
+	if st.cfg.shardSlot == 0 {
+		per += total % n
+	}
+	return per
+}
+
+// usedAll sums resident bytes across the default policy and every tenant
+// policy — the store-wide figure the shared capacity bounds.
+func (st *store) usedAll() int64 {
+	used := st.policy.Used()
+	for _, ts := range st.tens {
+		used += ts.policy.Used()
+	}
+	return used
+}
+
+// makeRoom frees shared capacity until an insert of size bytes on behalf of
+// requester fits. Victims are chosen Memshare-style by evictArbitrated, so a
+// false return means the insert must be rejected (nothing evictable without
+// breaking another tenant's reserve).
+func (st *store) makeRoom(requester cache.Policy, size int64) bool {
+	capacity := st.cfg.MemoryBytes
+	if size > capacity {
+		return false
+	}
+	for st.usedAll()+size > capacity {
+		if !st.evictArbitrated(requester) {
+			return false
+		}
+	}
+	return true
+}
+
+// evictArbitrated evicts one entry from the tenant whose next victim carries
+// the lowest marginal priority (the policy's H − L urgency), considering
+// only tenants holding more than their reserve slice — plus the requester
+// itself, which may always churn its own entries. One tenant's pressure can
+// therefore drain the shared pool but never another tenant's reserve.
+func (st *store) evictArbitrated(requester cache.Policy) bool {
+	var (
+		found    bool
+		best     cache.Evicter
+		bestUrg  float64
+		bestOver int64
+	)
+	consider := func(p cache.Policy, ev cache.Evicter, reserveTotal int64) {
+		if ev == nil || p.Len() == 0 {
+			return
+		}
+		over := p.Used() - st.shardReserve(reserveTotal)
+		if over <= 0 && p != requester {
+			return // within reserve: protected from other tenants' churn
+		}
+		urg := 0.0
+		if vp, ok := p.(cache.VictimPeeker); ok {
+			if _, u, ok := vp.PeekVictim(); ok {
+				urg = u
+			}
+		}
+		if !found || urg < bestUrg || (urg == bestUrg && over > bestOver) {
+			found, best, bestUrg, bestOver = true, ev, urg, over
+		}
+	}
+	var defReserve int64
+	if reg := st.cfg.tenants; reg != nil {
+		defReserve = reg.def.reserve.Load()
+	}
+	consider(st.policy, st.evicter, defReserve)
+	for _, ts := range st.tens {
+		consider(ts.policy, ts.evicter, ts.t.reserve.Load())
+	}
+	if !found {
+		return false
+	}
+	_, ok := best.EvictOne()
+	return ok
+}
+
+// flushTenant removes every entry owned by one tenant, leaving other
+// tenants' entries, the per-tenant policy objects, and the store's lifetime
+// counters untouched. Deletions are not evictions, so eviction stats are
+// unaffected too.
+func (st *store) flushTenant(name string) {
+	if st.slab != nil || st.buddy != nil {
+		// Non-byte layouts are single-tenant: only the default name means
+		// anything, and flushing it flushes everything, as before.
+		if name == defaultTenantName {
+			st.flush()
+		}
+		return
+	}
+	var p cache.Policy
+	if name == defaultTenantName {
+		p = st.policy
+	} else if ts, ok := st.tens[name]; ok {
+		p = ts.policy
+	} else {
+		return
+	}
+	keys := make([]string, 0, p.Len())
+	if eo, ok := p.(cache.EvictionOrdered); ok {
+		eo.VisitEvictionOrder(func(e cache.Entry) bool {
+			keys = append(keys, e.Key)
+			return true
+		})
+	}
+	for _, k := range keys {
+		st.delete(k)
+	}
+}
+
+// policyLifetime sums lifetime eviction/rejection counts across the default
+// policy and every tenant policy.
+func (st *store) policyLifetime() (evicted, rejected uint64) {
+	if st.policy == nil {
+		return 0, 0
+	}
+	s := st.policy.Stats()
+	evicted, rejected = s.Evictions, s.Rejected
+	for _, ts := range st.tens {
+		ts2 := ts.policy.Stats()
+		evicted += ts2.Evictions
+		rejected += ts2.Rejected
+	}
+	return evicted, rejected
+}
+
+// visitTenantUsage reports per-tenant residency in this store. The caller
+// holds the shard mutex. Non-policy layouts (slab) are single-tenant and
+// report everything under the default name.
+func (st *store) visitTenantUsage(visit func(name string, used int64, items int, evictions uint64)) {
+	if st.policy == nil {
+		visit(defaultTenantName, st.used(), st.len(), st.evictions())
+		return
+	}
+	visit(defaultTenantName, st.policy.Used(), st.policy.Len(), st.policy.Stats().Evictions)
+	for name, ts := range st.tens {
+		visit(name, ts.policy.Used(), ts.policy.Len(), ts.policy.Stats().Evictions)
+	}
+}
+
 func (st *store) get(key string, now time.Time) (*item, bool) {
 	it, ok := st.items[key]
 	if !ok {
@@ -169,7 +382,7 @@ func (st *store) getResident(it *item, now time.Time) (*item, bool) {
 		st.classLRU[it.handle.Class()].Get(it.key)
 		return it, true
 	}
-	if !st.policy.Get(it.key) {
+	if !st.policyFor(it.key).Get(it.key) {
 		return nil, false
 	}
 	return it, true
@@ -220,7 +433,7 @@ func (st *store) setAbs(key string, value []byte, flags uint32, expires time.Tim
 // priority state (and the slab layout, whose class LRUs are pure recency)
 // ignore the offset — replay order alone restores them exactly.
 func (st *store) setAbsPrio(key string, value []byte, flags uint32, expires time.Time, cost int64, prio, class uint64, hasPrio bool) bool {
-	it := &item{key: key, value: value, flags: flags, expiresAt: expires}
+	it := &item{key: key, value: value, flags: flags, expiresAt: expires, cost: cost}
 	size := st.itemSize(key, value)
 	switch {
 	case st.slab != nil:
@@ -239,15 +452,27 @@ func (st *store) setAbsPrio(key string, value []byte, flags uint32, expires time
 	}
 }
 
-// policySet admits through the policy, pinning the priority offset and class
-// when they were recorded and the policy can restore them.
+// policySet admits through the policy that owns the key, pinning the
+// priority offset and class when they were recorded and the policy can
+// restore them. On the multi-tenant path the old version is dropped first so
+// the arbiter's byte accounting is exact, then makeRoom clears shared
+// capacity before the owning policy (whose own capacity is the whole shard)
+// admits the entry.
 func (st *store) policySet(key string, size, cost int64, prio, class uint64, hasPrio bool) bool {
+	p := st.policy
+	if len(st.tens) != 0 {
+		p = st.policyFor(key)
+		p.Delete(key)
+		if !st.makeRoom(p, size) {
+			return false
+		}
+	}
 	if hasPrio {
-		if po, ok := st.policy.(cache.PriorityOrdered); ok {
+		if po, ok := p.(cache.PriorityOrdered); ok {
 			return po.SetWithPriority(key, size, cost, prio, class)
 		}
 	}
-	return st.policy.Set(key, size, cost)
+	return p.Set(key, size, cost)
 }
 
 // setBuddy places the value in the buddy arena and charges the policy its
@@ -357,7 +582,7 @@ func (st *store) delete(key string) bool {
 	case st.buddy != nil:
 		return st.deleteBuddy(key)
 	default:
-		if !st.policy.Delete(key) {
+		if !st.policyFor(key).Delete(key) {
 			return false
 		}
 		delete(st.items, key)
@@ -410,7 +635,7 @@ func (st *store) peekResident(it *item) (*item, cache.Entry, bool) {
 		e.Size = st.itemSize(it.key, it.value)
 		return it, e, true
 	}
-	e, ok := st.policy.Peek(it.key)
+	e, ok := st.policyFor(it.key).Peek(it.key)
 	return it, e, ok
 }
 
@@ -424,11 +649,9 @@ func (st *store) flush() {
 	// policy object is being replaced, so its counts fold into the bases.
 	evicted, reclaimed := st.evicted, st.expiredReclaimed
 	evictedBase, rejectedBase := st.evictedBase, st.rejectedBase
-	if st.policy != nil {
-		stats := st.policy.Stats()
-		evictedBase += stats.Evictions
-		rejectedBase += stats.Rejected
-	}
+	ev, rej := st.policyLifetime()
+	evictedBase += ev
+	rejectedBase += rej
 	*st = *fresh
 	st.evicted, st.expiredReclaimed = evicted, reclaimed
 	st.evictedBase, st.rejectedBase = evictedBase, rejectedBase
@@ -445,13 +668,14 @@ func (st *store) used() int64 {
 		}
 		return total
 	default:
-		return st.policy.Used()
+		return st.usedAll()
 	}
 }
 
 func (st *store) evictions() uint64 {
 	if st.policy != nil {
-		return st.evictedBase + st.policy.Stats().Evictions
+		ev, _ := st.policyLifetime()
+		return st.evictedBase + ev
 	}
 	return st.evicted
 }
@@ -464,10 +688,17 @@ func (st *store) policyName() string {
 }
 
 func (st *store) queueCount() int {
-	if qc, ok := st.policy.(cache.QueueCounter); ok {
-		return qc.QueueCount()
+	qc, ok := st.policy.(cache.QueueCounter)
+	if !ok {
+		return -1
 	}
-	return -1
+	n := qc.QueueCount()
+	for _, ts := range st.tens {
+		if tq, ok := ts.policy.(cache.QueueCounter); ok {
+			n += tq.QueueCount()
+		}
+	}
+	return n
 }
 
 // reclaimed returns how many expired items lazy expiry has removed.
@@ -478,7 +709,8 @@ func (st *store) reclaimed() uint64 { return st.expiredReclaimed }
 // of its own and reports 0.
 func (st *store) rejected() uint64 {
 	if st.policy != nil {
-		return st.rejectedBase + st.policy.Stats().Rejected
+		_, rej := st.policyLifetime()
+		return st.rejectedBase + rej
 	}
 	return st.rejectedBase
 }
@@ -500,13 +732,32 @@ func (st *store) restore(op persist.Op) error {
 			it.expiresAt = op.ExpiresAt()
 		}
 	case persist.KindFlush:
-		st.flush()
+		// Keyless flushes clear the whole store (the only form before
+		// multi-tenancy); keyed ones clear one tenant's namespace.
+		if op.Key == "" {
+			st.flush()
+		} else {
+			st.flushTenant(op.Key)
+		}
 	case persist.KindPosition:
 		// Replication bookkeeping, not data; the recovery wrapper that
 		// cares about positions tracks them before calling restore.
 	case persist.KindScale:
+		// The scale only ever widens, so installing one source's scale in
+		// every policy is safe and keeps tenant replay order-independent.
 		if ps, ok := st.policy.(cache.PriorityScaled); ok {
 			ps.RestorePriorityScale(op.Scale)
+		}
+		for _, ts := range st.tens {
+			if ps, ok := ts.policy.(cache.PriorityScaled); ok {
+				ps.RestorePriorityScale(op.Scale)
+			}
+		}
+	case persist.KindTenant:
+		if reg := st.cfg.tenants; reg != nil {
+			t, _ := reg.ensure(op.Key)
+			t.reserve.Store(op.Reserve)
+			st.ensureTenant(op.Key)
 		}
 	default:
 		return fmt.Errorf("kvserver: unknown journal op kind %d", op.Kind)
@@ -555,23 +806,45 @@ func (st *store) collectOps() []persist.Op {
 			lru.VisitEvictionOrder(visit)
 		}
 	default:
-		if po, ok := st.policy.(cache.PriorityOrdered); ok {
-			// The adaptive scale goes first so replay buckets every
-			// subsequent Set with the live workload's learned state.
-			if ps, ok := st.policy.(cache.PriorityScaled); ok {
-				ops = append(ops, persist.Op{Kind: persist.KindScale, Scale: ps.PriorityScale()})
+		// Tenant identity and quotas go first, so replay re-creates every
+		// tenant — including ones with no resident keys — before any entry
+		// lands or any keyed flush needs a namespace to clear.
+		if reg := st.cfg.tenants; reg != nil {
+			for _, t := range reg.list() {
+				if t.prefix == "" && t.reserve.Load() == 0 {
+					continue // the bare default tenant is implicit
+				}
+				ops = append(ops, persist.Op{Kind: persist.KindTenant, Key: t.name, Reserve: t.reserve.Load()})
 			}
-			po.VisitEvictionPriority(func(e cache.Entry, prio, class uint64) bool {
-				return add(e.Key, e.Cost, prio, class, persist.KindSetPrio)
-			})
-		} else if eo, ok := st.policy.(cache.EvictionOrdered); ok {
-			eo.VisitEvictionOrder(visit)
-		} else {
-			for key := range st.items {
-				if _, meta, ok := st.peek(key); ok {
-					add(key, meta.Cost, 0, 0, persist.KindSet)
+		}
+		emitPolicy := func(p cache.Policy) {
+			if po, ok := p.(cache.PriorityOrdered); ok {
+				// The adaptive scale goes first so replay buckets every
+				// subsequent Set with the live workload's learned state.
+				if ps, ok := p.(cache.PriorityScaled); ok {
+					ops = append(ops, persist.Op{Kind: persist.KindScale, Scale: ps.PriorityScale()})
+				}
+				po.VisitEvictionPriority(func(e cache.Entry, prio, class uint64) bool {
+					return add(e.Key, e.Cost, prio, class, persist.KindSetPrio)
+				})
+			} else if eo, ok := p.(cache.EvictionOrdered); ok {
+				eo.VisitEvictionOrder(visit)
+			} else if len(st.tens) == 0 {
+				for key := range st.items {
+					if _, meta, ok := st.peek(key); ok {
+						add(key, meta.Cost, 0, 0, persist.KindSet)
+					}
 				}
 			}
+		}
+		emitPolicy(st.policy)
+		names := make([]string, 0, len(st.tens))
+		for name := range st.tens {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			emitPolicy(st.tens[name].policy)
 		}
 	}
 	return ops

@@ -19,9 +19,11 @@ func FuzzDecodeRecord(f *testing.F) {
 		{Kind: KindDelete, Key: "gone"},
 		{Kind: KindTouch, Key: "ttl", Expires: 42},
 		{Kind: KindFlush},
+		{Kind: KindFlush, Key: "acme"},
 		{Kind: KindSetPrio, Key: "prio", Value: []byte("p"), Size: 60, Cost: 40, Priority: 12, Class: 30},
 		{Kind: KindPosition, Pos: Position{RunID: 3, Gen: 2, Off: 150}},
 		{Kind: KindScale, Scale: 81},
+		{Kind: KindTenant, Key: "acme", Reserve: 4096},
 	} {
 		f.Add(AppendRecord(nil, op))
 	}
@@ -41,12 +43,23 @@ func FuzzDecodeRecord(f *testing.F) {
 		if used <= 0 || used > len(data) {
 			t.Fatalf("decoder consumed %d of %d bytes", used, len(data))
 		}
-		keyless := op.Kind == KindFlush || op.Kind == KindPosition || op.Kind == KindScale
-		if (op.Key == "") != keyless || op.Size < 0 || op.Cost < 0 {
+		switch op.Kind {
+		case KindPosition, KindScale:
+			if op.Key != "" {
+				t.Fatalf("decoder accepted keyed op %+v", op)
+			}
+		case KindFlush:
+			// Key optional: empty = global flush, named = tenant flush.
+		default:
+			if op.Key == "" {
+				t.Fatalf("decoder accepted keyless op %+v", op)
+			}
+		}
+		if op.Size < 0 || op.Cost < 0 || op.Reserve < 0 {
 			t.Fatalf("decoder accepted invalid op %+v", op)
 		}
 		switch op.Kind {
-		case KindSet, KindDelete, KindTouch, KindFlush, KindSetPrio, KindScale:
+		case KindSet, KindDelete, KindTouch, KindFlush, KindSetPrio, KindScale, KindTenant:
 		case KindPosition:
 			if op.Pos.RunID == 0 || op.Pos.Gen == 0 || op.Pos.Off < SegmentHeaderLen {
 				t.Fatalf("decoder accepted invalid position %+v", op.Pos)
@@ -101,8 +114,10 @@ func FuzzStreamFrames(f *testing.F) {
 				}
 			case FrameRecord:
 				op := frame.Op
-				keyless := op.Kind == KindFlush || op.Kind == KindPosition || op.Kind == KindScale
-				if frame.Bytes <= 0 || (op.Key == "") != keyless || op.Size < 0 || op.Cost < 0 {
+				keyless := op.Kind == KindPosition || op.Kind == KindScale
+				badKey := (keyless && op.Key != "") ||
+					(!keyless && op.Kind != KindFlush && op.Key == "")
+				if frame.Bytes <= 0 || badKey || op.Size < 0 || op.Cost < 0 {
 					t.Fatalf("decoder accepted invalid record frame %+v", frame)
 				}
 			default:
@@ -151,7 +166,7 @@ func FuzzDecodeSnapshotV2(f *testing.F) {
 			}
 			switch op.Kind {
 			case KindSet:
-			case KindSetPrio, KindPosition, KindScale:
+			case KindSetPrio, KindPosition, KindScale, KindTenant:
 				if version < 2 {
 					t.Fatalf("v%d snapshot yielded a v2 record kind %d", version, op.Kind)
 				}
@@ -159,7 +174,7 @@ func FuzzDecodeSnapshotV2(f *testing.F) {
 				t.Fatalf("snapshot reader applied kind %d", op.Kind)
 			}
 			keyless := op.Kind == KindPosition || op.Kind == KindScale
-			if (op.Key == "") != keyless || op.Size < 0 || op.Cost < 0 {
+			if (op.Key == "") != keyless || op.Size < 0 || op.Cost < 0 || op.Reserve < 0 {
 				t.Fatalf("snapshot reader applied invalid op %+v", op)
 			}
 			return nil

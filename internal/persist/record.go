@@ -30,8 +30,10 @@ const (
 	KindDelete Kind = 2
 	// KindTouch updates a key's expiry without rewriting the value.
 	KindTouch Kind = 3
-	// KindFlush empties the whole store (memcached flush_all). It carries
-	// no key; journaling it makes a flush durable even when the
+	// KindFlush empties the store (memcached flush_all). With no key it
+	// empties everything (the only form before multi-tenancy, so legacy
+	// journals keep their meaning); with a key it empties only that
+	// tenant's entries. Journaling it makes a flush durable even when the
 	// snapshot-then-truncate that normally follows fails.
 	KindFlush Kind = 4
 	// KindSetPrio is KindSet plus the entry's eviction-priority offset
@@ -53,6 +55,12 @@ const (
 	// whole workload, evicted entries included, so it cannot be re-derived
 	// from the snapshot's entries.
 	KindScale Kind = 7
+	// KindTenant records a tenant's existence and reserved-byte quota (the
+	// Key field holds the tenant name). Journaled when a tenant is created
+	// or its reserve changes, and written ahead of the entries in snapshot
+	// v2+, so warm restarts and FULLSYNC bootstraps restore tenant
+	// ownership and quotas even for tenants with no resident keys.
+	KindTenant Kind = 8
 )
 
 // Position is a replication position: a byte offset into one generation of
@@ -93,6 +101,9 @@ type Op struct {
 	// Scale is the adaptive priority scale carried by KindScale records;
 	// zero for every other kind.
 	Scale uint64
+	// Reserve is the tenant's reserved-byte quota carried by KindTenant
+	// records (whose Key is the tenant name); zero for every other kind.
+	Reserve int64
 }
 
 // ExpiresAt converts the Expires field to a time.Time (zero when unset).
@@ -167,8 +178,11 @@ func AppendRecord(dst []byte, op Op) []byte {
 		dst = binary.AppendVarint(dst, op.Pos.Off)
 	case KindScale:
 		dst = binary.AppendUvarint(dst, op.Scale)
+	case KindTenant:
+		dst = binary.AppendVarint(dst, op.Reserve)
 	case KindDelete, KindFlush:
-		// Key only (empty for flush).
+		// Key only (empty for a global flush, a tenant name for a scoped
+		// one).
 	}
 	payload := dst[start+recordHeaderLen:]
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
@@ -235,8 +249,11 @@ func decodePayload(p []byte) (Op, error) {
 	if err != nil {
 		return Op{}, err
 	}
-	keyless := op.Kind == KindFlush || op.Kind == KindPosition || op.Kind == KindScale
-	if len(key) == 0 && !keyless {
+	// KindFlush is the one kind where the key is optional: empty means a
+	// global flush (the only form legacy journals contain), non-empty names
+	// the tenant being flushed.
+	keyless := op.Kind == KindPosition || op.Kind == KindScale
+	if len(key) == 0 && !keyless && op.Kind != KindFlush {
 		return Op{}, fmt.Errorf("%w: empty key", ErrCorruptRecord)
 	}
 	if len(key) != 0 && keyless {
@@ -301,6 +318,13 @@ func decodePayload(p []byte) (Op, error) {
 	case KindScale:
 		if op.Scale, p, err = decodeUvarint(p, "scale"); err != nil {
 			return Op{}, err
+		}
+	case KindTenant:
+		if op.Reserve, p, err = decodeVarint(p, "reserve"); err != nil {
+			return Op{}, err
+		}
+		if op.Reserve < 0 {
+			return Op{}, fmt.Errorf("%w: negative tenant reserve", ErrCorruptRecord)
 		}
 	default:
 		return Op{}, fmt.Errorf("%w: unknown op kind %d", ErrCorruptRecord, op.Kind)

@@ -25,8 +25,12 @@ import (
 //	    the exact cross-queue eviction schedule), and the stream may carry
 //	    KindScale records (the policy's adaptive ratio-integerizer state)
 //	    and KindPosition records persisting a follower's replication
-//	    position across compaction. v1 files are still read bit-for-bit;
-//	    writers always emit v2 headers.
+//	    position across compaction. v2 streams may also carry KindTenant
+//	    records (tenant names and reserved-byte quotas, written ahead of
+//	    the entries) — older v2 readers never see them because they reject
+//	    unknown kinds, and v2 files without them load every entry into the
+//	    default tenant. v1 files are still read bit-for-bit; writers
+//	    always emit v2 headers.
 const (
 	snapshotMagic = "CAMPSNP1"
 	// SnapshotVersion is the current snapshot format version. Readers
@@ -95,11 +99,11 @@ func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
 
 // Write appends one record. Entry ops keep their kind (KindSetPrio when the
 // caller exported a priority, KindSet otherwise — a zero Kind becomes
-// KindSet) and KindScale/KindPosition records pass through; nothing else
-// belongs in a snapshot.
+// KindSet) and KindScale/KindPosition/KindTenant records pass through;
+// nothing else belongs in a snapshot.
 func (sw *SnapshotWriter) Write(op Op) error {
 	switch op.Kind {
-	case KindSetPrio, KindPosition, KindScale:
+	case KindSetPrio, KindPosition, KindScale, KindTenant:
 	default:
 		op.Kind = KindSet
 	}
@@ -151,7 +155,7 @@ func ReadSnapshot(r io.Reader, apply func(Op) error) (int, error) {
 		}
 		switch op.Kind {
 		case KindSet:
-		case KindSetPrio, KindPosition, KindScale:
+		case KindSetPrio, KindPosition, KindScale, KindTenant:
 			if version < snapshotV2 {
 				return entries, fmt.Errorf("snapshot record %d: %w: kind %d in a v%d snapshot",
 					rec, ErrCorruptRecord, op.Kind, version)
