@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 # The checked-in allocs/op budget for the protocol hot path. The PR 2
 # baseline was 161 allocs per 20-op batch; the zero-allocation protocol

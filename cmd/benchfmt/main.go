@@ -39,13 +39,24 @@ type Result struct {
 
 // Report is the committed JSON document.
 type Report struct {
-	Go         string          `json:"go"`
-	GOOS       string          `json:"goos"`
-	GOARCH     string          `json:"goarch"`
-	CPUs       int             `json:"cpus"`
-	Note       string          `json:"note,omitempty"`
-	Benchmarks []Result        `json:"benchmarks"`
-	Latency    []LatencyResult `json:"latency,omitempty"`
+	Go         string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPUs       int               `json:"cpus"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+	Latency    []LatencyResult   `json:"latency,omitempty"`
+	QuotaShed  []QuotaShedResult `json:"quota_shed,omitempty"`
+}
+
+// QuotaShedResult is one benchmark's per-tenant quota-shed count, lifted
+// from the quota_shed_<tenant> metrics the quota-capped tenant benchmark
+// reports (see BenchmarkServerOpsTenantQuota) — how many requests the
+// server answered "tenant over quota" for each tenant during the run.
+type QuotaShedResult struct {
+	Bench  string  `json:"bench"`
+	Tenant string  `json:"tenant"`
+	Shed   float64 `json:"shed"`
 }
 
 // LatencyResult is one benchmark's per-verb server-side latency summary,
@@ -109,6 +120,7 @@ func run() error {
 		Note:       *note,
 		Benchmarks: results,
 		Latency:    liftLatency(results),
+		QuotaShed:  liftQuotaShed(results),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -183,6 +195,28 @@ func liftLatency(results []Result) []LatencyResult {
 			return out[i].Bench < out[j].Bench
 		}
 		return out[i].Verb < out[j].Verb
+	})
+	return out
+}
+
+// liftQuotaShed collects quota_shed_<tenant> metrics into the report's
+// quota_shed section, one entry per (benchmark, tenant).
+func liftQuotaShed(results []Result) []QuotaShedResult {
+	var out []QuotaShedResult
+	for _, r := range results {
+		for unit, v := range r.Metrics {
+			tenant, ok := strings.CutPrefix(unit, "quota_shed_")
+			if !ok || tenant == "" {
+				continue
+			}
+			out = append(out, QuotaShedResult{Bench: r.Name, Tenant: tenant, Shed: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Tenant < out[j].Tenant
 	})
 	return out
 }

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
-//	        [-shards N] [-precision 5] [-no-iq] [-replica-of host:port]
-//	        [-tenant-reserve name=bytes ...]
+//	        [-shards N] [-precision 5] [-no-iq]
+//	        [-replica-of host:port [-replica-tenants a,b]]
+//	        [-tenant-reserve name=bytes ...] [-tenant-quota name=ops[:bytes] ...]
 //	        [-data-dir /var/lib/campsrv [-aof=true] [-fsync everysec]
 //	         [-snapshot-interval 5m] [-aof-limit 64MiB]]
 //
@@ -69,6 +70,9 @@ func run() error {
 		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown: how long in-flight pipelines may finish after SIGTERM before straggler connections are closed")
 
 		reserves = tenantReserves{}
+		quotas   = tenantQuotas{}
+
+		replicaTenants = flag.String("replica-tenants", "", "comma-separated tenant subset to replicate (requires -replica-of, byte mode); the primary filters the feed to these tenants' keys")
 
 		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
 		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
@@ -77,6 +81,7 @@ func run() error {
 		aofLimit = flag.String("aof-limit", "", "AOF size triggering compaction (default 64MiB)")
 	)
 	flag.Var(&reserves, "tenant-reserve", "reserve memory for a tenant as name=bytes (e.g. -tenant-reserve gold=16MiB); repeatable, byte mode only")
+	flag.Var(&quotas, "tenant-quota", "request quota for a tenant as name=ops[:bytes] (ops/sec shed limit, optional in-flight mutation bytes, e.g. -tenant-quota bronze=500:1MiB); repeatable, byte mode only")
 	flag.Parse()
 
 	bytes, err := parseSize(*mem)
@@ -100,6 +105,12 @@ func run() error {
 	}
 	if len(reserves) > 0 {
 		cfg.TenantReserves = reserves
+	}
+	if len(quotas) > 0 {
+		cfg.TenantQuotas = quotas
+	}
+	if *replicaTenants != "" {
+		cfg.ReplicaTenants = strings.Split(*replicaTenants, ",")
 	}
 	switch {
 	case *slowlogMS < 0:
@@ -142,6 +153,9 @@ func run() error {
 		srv.Addr(), *policy, *mode, bytes, *shards)
 	if *replicaOf != "" {
 		fmt.Printf("campsrv: read-only replica of %s (promote with 'replica promote')\n", *replicaOf)
+		if *replicaTenants != "" {
+			fmt.Printf("campsrv: replicating only tenants %s\n", *replicaTenants)
+		}
 	}
 	if *metricsAddr != "" {
 		fmt.Printf("campsrv: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.MetricsAddr())
@@ -201,6 +215,43 @@ func (r tenantReserves) Set(s string) error {
 		return err
 	}
 	r[name] = b
+	return nil
+}
+
+// tenantQuotas implements flag.Value for the repeatable -tenant-quota
+// name=ops[:bytes] flag, accumulating into Config.TenantQuotas.
+type tenantQuotas map[string]kvserver.TenantQuota
+
+func (q tenantQuotas) String() string {
+	if len(q) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(q))
+	for name, tq := range q {
+		parts = append(parts, fmt.Sprintf("%s=%d:%d", name, tq.OpsPerSec, tq.MaxBytesInFlight))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (q tenantQuotas) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("bad tenant quota %q (want name=ops[:bytes])", s)
+	}
+	opsStr, bytesStr, hasBytes := strings.Cut(spec, ":")
+	ops, err := strconv.ParseInt(opsStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad tenant quota ops %q: %w", s, err)
+	}
+	var tq kvserver.TenantQuota
+	tq.OpsPerSec = ops
+	if hasBytes {
+		if tq.MaxBytesInFlight, err = parseSize(bytesStr); err != nil {
+			return fmt.Errorf("bad tenant quota bytes %q: %w", s, err)
+		}
+	}
+	q[name] = tq
 	return nil
 }
 

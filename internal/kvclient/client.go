@@ -46,6 +46,11 @@ type Client struct {
 // ErrServer wraps SERVER_ERROR responses.
 var ErrServer = errors.New("kvclient: server error")
 
+// ErrOverQuota reports a request shed by the server's per-tenant request
+// quota ("SERVER_ERROR tenant over quota"); it wraps ErrServer, so existing
+// errors.Is(err, ErrServer) checks keep matching. Retry after backing off.
+var ErrOverQuota = fmt.Errorf("%w: tenant over quota", ErrServer)
+
 // ErrProtocol reports an unparsable response.
 var ErrProtocol = errors.New("kvclient: protocol error")
 
@@ -307,6 +312,8 @@ func (c *Client) Set(key string, value []byte, flags uint32, ttl int64, cost int
 	switch {
 	case string(line) == "STORED":
 		return nil
+	case bytes.Equal(line, overQuotaLine):
+		return ErrOverQuota
 	case bytes.HasPrefix(line, serverErrorPrefix):
 		return fmt.Errorf("%w: %s", ErrServer, line)
 	default:
@@ -348,6 +355,7 @@ func (c *Client) Prepend(key string, value []byte) (bool, error) {
 
 var serverErrorPrefix = []byte("SERVER_ERROR")
 var clientErrorPrefix = []byte("CLIENT_ERROR")
+var overQuotaLine = []byte("SERVER_ERROR tenant over quota")
 
 func (c *Client) storeCmd(cmd, key string, value []byte, flags uint32, ttl, cost int64) (bool, error) {
 	if err := c.writeStore(cmd, key, value, flags, ttl, cost, false); err != nil {
@@ -365,6 +373,8 @@ func (c *Client) storeCmd(cmd, key string, value []byte, flags uint32, ttl, cost
 		return true, nil
 	case string(line) == "NOT_STORED":
 		return false, nil
+	case bytes.Equal(line, overQuotaLine):
+		return false, ErrOverQuota
 	case bytes.HasPrefix(line, serverErrorPrefix):
 		return false, fmt.Errorf("%w: %s", ErrServer, line)
 	default:

@@ -138,6 +138,114 @@ func BenchmarkServerOpsTenants(b *testing.B) {
 	}
 }
 
+// BenchmarkServerOpsTenantQuota runs the two-tenant workload with the
+// best-effort "batch" tenant capped at 5k ops/sec — far below what the
+// workload drives — so its noreply sets are shed silently once the bucket
+// drains while "prod" runs unlimited. Besides ops/s
+// it reports each tenant's lifetime quota_shed count from the server's own
+// counters — benchfmt lifts the quota_shed_<tenant> metrics into the
+// committed report's quota_shed section, so the shed volume under a known
+// overload is tracked across PRs alongside the throughput cost of the
+// quota check itself (compare against BenchmarkServerOpsTenants).
+func BenchmarkServerOpsTenantQuota(b *testing.B) {
+	s, err := New(Config{
+		MemoryBytes:    256 << 20,
+		Shards:         4,
+		Policy:         "camp",
+		DisableIQ:      true,
+		TenantReserves: map[string]int64{"prod": 64 << 20},
+		TenantQuotas:   map[string]TenantQuota{"batch": {OpsPerSec: 5_000}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	value := make([]byte, benchValueLen)
+	warmTenant := func(name string, keys int) {
+		warm, err := kvclient.DialWithTenant(s.Addr(), name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer warm.Close()
+		for i := 0; i < keys; i++ {
+			if err := warm.SetNoreply(benchKeySet[i], value, 0, 0, int64(1+i%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := warm.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.Version(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmTenant("prod", benchKeys)
+	// The batch warm-up fits inside the 1s burst, so the measured run starts
+	// with a warm keyspace AND a drained bucket — sheds begin immediately.
+	warmTenant("batch", benchKeys/2)
+
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		n := seed.Add(1)
+		name := "prod"
+		if n%2 == 0 {
+			name = "batch"
+		}
+		c, err := kvclient.DialWithTenant(s.Addr(), name)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(n))
+		batch := make([]string, benchBatchGets)
+		var got int
+		sink := func(key, value []byte, flags uint32) { got += len(value) }
+		for pb.Next() {
+			for i := range batch {
+				batch[i] = benchKeySet[rng.Intn(benchKeys)]
+			}
+			if err := c.MultiGetFunc(sink, batch...); err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < benchBatchSets; i++ {
+				if err := c.SetNoreply(benchKeySet[rng.Intn(benchKeys)], value, 0, 0, int64(1+rng.Intn(100))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	opsPerIter := float64(benchBatchGets + benchBatchSets)
+	b.ReportMetric(opsPerIter*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.StopTimer()
+	lc, err := kvclient.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+	ts, err := lc.StatsTenants()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"prod", "batch"} {
+		shed, _ := strconv.ParseFloat(ts["tenant:"+name+":quota_shed"], 64)
+		b.ReportMetric(shed, "quota_shed_"+name)
+	}
+}
+
 const (
 	benchKeys      = 8192
 	benchValueLen  = 100

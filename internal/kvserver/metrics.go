@@ -392,6 +392,8 @@ func (s *Server) buildRegistry() {
 		func(t *tenant) float64 { return float64(t.misses.Load()) })
 	tenantCounter("camp_tenant_cost_saved_total", "Summed cost of get hits per tenant (the CAMP objective).", metrics.TypeCounter,
 		func(t *tenant) float64 { return float64(t.costSaved.Load()) })
+	tenantCounter("camp_tenant_quota_shed_total", "Requests answered 'tenant over quota' per tenant.", metrics.TypeCounter,
+		func(t *tenant) float64 { return float64(t.quotaShed.Load()) })
 
 	r.Register("camp_slowlog_entries", "Slow commands currently retained.", metrics.TypeGauge,
 		func(tw *metrics.TextWriter) { tw.Sample("", float64(s.metrics.slowlog.Len())) })

@@ -49,6 +49,10 @@ type connState struct {
 	// store keys, so the hot path adds no allocations.
 	tenant *tenant
 	nsKey  []byte
+
+	// replTenants is the tenant subset a "replconf tenants" announcement
+	// scoped this connection's sync feeds to; nil means unfiltered.
+	replTenants []string
 }
 
 // nsKeyFor maps a wire key into the connection tenant's namespace: bare for
@@ -111,6 +115,7 @@ func putConnState(cs *connState) {
 		cs.out = make([]byte, 0, 512)
 	}
 	cs.tenant = nil
+	cs.replTenants = nil
 	if cap(cs.nsKey) > maxPooledScratch {
 		cs.nsKey = nil
 	}

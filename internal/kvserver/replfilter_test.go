@@ -1,0 +1,263 @@
+package kvserver
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"camp/internal/kvclient"
+	"camp/internal/persist"
+)
+
+// filterState keeps only the entries of a captured server state that belong
+// to one of the named tenants — the state a filtered follower must converge
+// to, and nothing more.
+func filterState(state map[string]expectedItem, names []string) map[string]expectedItem {
+	out := make(map[string]expectedItem)
+	for k, v := range state {
+		if keyInAnyTenant(names, k) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// multiTenantChurn writes an interleaved workload across tenants a, b and the
+// default namespace on the primary's clients.
+func multiTenantChurn(t *testing.T, a, b, def *kvclient.Client, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		for _, c := range []*kvclient.Client{a, b, def} {
+			if err := c.Set(k, []byte(strings.Repeat("v", 10+i%40)), uint32(i), 0, int64(1+i%9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%9 == 0 {
+			if _, err := a.Delete(fmt.Sprintf("k%03d", i/3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestReplTenantFilteredFollower is the filtered-replication acceptance test:
+// a follower announcing "replconf tenants a" bootstraps via a synthesized
+// subset snapshot, converges byte-exactly on tenant a's entries and ONLY
+// those, survives a mid-stream disconnect with CONTINUE (skip frames keep its
+// offsets mirroring the primary's), and after promotion serves exactly the
+// subset.
+func TestReplTenantFilteredFollower(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 4 << 20,
+		Shards:      2,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	a, err := kvclient.DialWithTenant(p.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := kvclient.DialWithTenant(p.Addr(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	def := dial(t, p)
+
+	// Data exists before the follower attaches: the bootstrap is a genuine
+	// filtered FULLSYNC, not an empty snapshot.
+	multiTenantChurn(t, a, b, def, 0, 80)
+	f := startReplica(t, p, Config{
+		MemoryBytes:    4 << 20,
+		Shards:         2,
+		Policy:         "camp",
+		DisableIQ:      true,
+		ReplicaTenants: []string{"a"},
+	})
+	multiTenantChurn(t, a, b, def, 80, 150)
+	waitCaughtUp(t, p, f)
+
+	want := filterState(captureState(p), []string{"a"})
+	if len(want) == 0 {
+		t.Fatal("tenant a holds no entries; the test is vacuous")
+	}
+	assertStateEqual(t, want, captureState(f))
+	names, _, totals := tenantSnapshot(f)
+	if !reflect.DeepEqual(names, []string{"default", "a"}) {
+		t.Fatalf("follower tenant set = %v, want [default a] (tenant b must not leak)", names)
+	}
+	if totals.items["b"] != 0 || totals.items["default"] != 0 {
+		t.Fatalf("follower holds foreign entries: %v", totals.items)
+	}
+
+	// Chaos: every stream dies mid-segment; more writes to all tenants land
+	// while the follower reconnects. CONTINUE must resume — the skip frames
+	// kept the follower's offsets at real record boundaries.
+	for _, sr := range f.repl.reps {
+		sr.closeConn()
+	}
+	multiTenantChurn(t, a, b, def, 150, 220)
+	waitCaughtUp(t, p, f)
+	assertStateEqual(t, filterState(captureState(p), []string{"a"}), captureState(f))
+	for i, sr := range f.repl.reps {
+		sr.mu.Lock()
+		fullSyncs, reconnects := sr.fullSyncs, sr.reconnects
+		sr.mu.Unlock()
+		if fullSyncs != 1 {
+			t.Fatalf("shard %d: %d full syncs after disconnect, want 1 (filtered CONTINUE must resume)", i, fullSyncs)
+		}
+		if reconnects == 0 {
+			t.Fatalf("shard %d: stream never reconnected", i)
+		}
+	}
+
+	// Promote: the filtered replica serves its subset — and only that.
+	cf, err := kvclient.DialWithTenant(f.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := cf.ReplicaPromote(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cf.Get("k149"); err != nil || !ok || len(v) == 0 {
+		t.Fatalf("promoted follower lost subset entry: %q/%v/%v", v, ok, err)
+	}
+	fb, err := kvclient.DialWithTenant(f.Addr(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if _, ok, _ := fb.Get("k149"); ok {
+		t.Fatal("promoted filtered follower serves tenant b's entry")
+	}
+	if err := cf.Set("post-promote", []byte("x"), 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplTenantFilterMultiNameAndFlush covers a two-tenant subset plus the
+// flush interactions: a keyed flush of a subset tenant replicates, a keyed
+// flush of an outside tenant is skipped, and a keyless flush_all all clears
+// the follower too.
+func TestReplTenantFilterMultiNameAndFlush(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 4 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	a, err := kvclient.DialWithTenant(p.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := kvclient.DialWithTenant(p.Addr(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := kvclient.DialWithTenant(p.Addr(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f := startReplica(t, p, Config{
+		MemoryBytes:    4 << 20,
+		Policy:         "camp",
+		DisableIQ:      true,
+		ReplicaTenants: []string{"a", "b"},
+	})
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		for _, cl := range []*kvclient.Client{a, b, c} {
+			if err := cl.Set(k, []byte("v"), 0, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitCaughtUp(t, p, f)
+	assertStateEqual(t, filterState(captureState(p), []string{"a", "b"}), captureState(f))
+
+	// A bare flush on subset tenant b replicates; one on outside tenant c is
+	// skip bytes.
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, f)
+	got := captureState(f)
+	assertStateEqual(t, filterState(captureState(p), []string{"a", "b"}), got)
+	for k := range got {
+		if keyInTenant("b", k) {
+			t.Fatalf("tenant b entry %q survived its replicated flush", k)
+		}
+	}
+
+	// flush_all all is keyless and clears every namespace, the subset's too.
+	if err := a.FlushAllTenants(); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, p, f)
+	if got := captureState(f); len(got) != 0 {
+		t.Fatalf("follower holds %d entries after replicated flush_all all", len(got))
+	}
+}
+
+// TestReplconfTenantsGrammar pins the handshake surface: valid subsets get
+// REPLOK tenants, malformed ones a CLIENT_ERROR that leaves the connection
+// usable.
+func TestReplconfTenantsGrammar(t *testing.T) {
+	p := startServer(t, Config{
+		MemoryBytes: 1 << 20,
+		Policy:      "camp",
+		DisableIQ:   true,
+		Persist:     &PersistConfig{Dir: t.TempDir(), Fsync: persist.FsyncNo, Logf: t.Logf},
+	})
+	conn := rawDial(t, p)
+	defer conn.Close()
+	for _, tc := range []struct{ cmd, want string }{
+		{"replconf tenants a,b", "REPLOK tenants"},
+		{"replconf tenants default", "REPLOK tenants"},
+		{"replconf tenants a,a,a", "REPLOK tenants"},
+		{"replconf tenants ", "CLIENT_ERROR bad replconf command"},
+		{"replconf tenants a,,b", "CLIENT_ERROR bad replconf command"},
+		{"replconf tenants " + strings.Repeat("x", 65), "CLIENT_ERROR bad replconf command"},
+		{"replconf shards 1", "REPLOK 1"},
+	} {
+		if got := sendLine(t, conn, tc.cmd); got != tc.want {
+			t.Errorf("%q = %q, want %q", tc.cmd, got, tc.want)
+		}
+	}
+}
+
+// TestParseReplTenants pins the CSV parser: dedup, sort, and rejection of
+// anything parseTenantName would refuse.
+func TestParseReplTenants(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"a", []string{"a"}},
+		{"b,a", []string{"a", "b"}},
+		{"a,b,a", []string{"a", "b"}},
+		{"default,gold", []string{"default", "gold"}},
+	} {
+		got, ok := parseReplTenants([]byte(tc.in))
+		if !ok || !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseReplTenants(%q) = %v/%v, want %v", tc.in, got, ok, tc.want)
+		}
+	}
+	for _, in := range []string{"", ",", "a,", ",a", "a,,b", "bad name", "a\x00b"} {
+		if got, ok := parseReplTenants([]byte(in)); ok {
+			t.Errorf("parseReplTenants(%q) accepted as %v", in, got)
+		}
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -143,12 +144,43 @@ type Config struct {
 	// marginal eviction priority. Reserves must sum to at most MemoryBytes.
 	// Values here override quotas recovered from the journal.
 	TenantReserves map[string]int64
+	// TenantQuotas maps tenant names to shed-on-exceed request limits (byte
+	// mode only): an ops/sec rate enforced with a lock-free GCRA bucket and a
+	// cap on mutation payload bytes in flight. Over-quota requests answer
+	// "SERVER_ERROR tenant over quota" after being fully consumed, so the
+	// connection stream stays aligned. Quotas describe the deployment, not
+	// the data: they are never journaled or replicated.
+	TenantQuotas map[string]TenantQuota
+	// ReplicaTenants, with ReplicaOf, restricts replication to a tenant
+	// subset: the follower requests the subset during the REPLCONF handshake
+	// and the primary filters its per-shard feed by the NUL-delimited key
+	// prefix, coalescing the bytes of filtered-out records into skip frames
+	// so the follower's offsets keep mirroring the primary's file positions
+	// (disconnect/CONTINUE resume works unchanged). FULLSYNC bootstraps ship
+	// only the subset's entries plus their KindTenant/KindScale records, and
+	// promoting a filtered replica serves only its subset. "default" names
+	// the bare namespace. Byte mode only.
+	ReplicaTenants []string
 
 	// tenants and shardSlot are threaded through the per-shard Config
 	// copies so each store can reach the server's tenant registry and
 	// compute its slice of a reserve; set by New, never by callers.
 	tenants   *tenantRegistry
 	shardSlot int
+}
+
+// TenantQuota is one tenant's shed-on-exceed request limits
+// (Config.TenantQuotas); zero-valued fields are unlimited.
+type TenantQuota struct {
+	// OpsPerSec caps the tenant's mutation rate; a burst of one full second
+	// (OpsPerSec back-to-back ops from idle) is tolerated.
+	OpsPerSec int64
+	// MaxBytesInFlight caps the tenant's concurrently processed mutation
+	// payload bytes across all its connections.
+	MaxBytesInFlight int64
+	// ShedReads extends the ops/sec cap to the read path; by default reads
+	// are always served so an over-quota tenant can still drain its cache.
+	ShedReads bool
 }
 
 // PersistConfig configures the internal/persist subsystem for a Server.
@@ -281,6 +313,40 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("%w: tenant reserves (%d bytes) exceed MemoryBytes (%d)", errBadConfig, sum, cfg.MemoryBytes)
 		}
 	}
+	if len(cfg.TenantQuotas) > 0 {
+		if cfg.Mode != ModeByte {
+			return nil, fmt.Errorf("%w: tenant quotas require byte mode", errBadConfig)
+		}
+		for name, q := range cfg.TenantQuotas {
+			if _, ok := parseTenantName([]byte(name)); !ok {
+				return nil, fmt.Errorf("%w: bad tenant name %q", errBadConfig, name)
+			}
+			if q.OpsPerSec < 0 || q.MaxBytesInFlight < 0 {
+				return nil, fmt.Errorf("%w: negative quota for tenant %q", errBadConfig, name)
+			}
+		}
+	}
+	if len(cfg.ReplicaTenants) > 0 {
+		if cfg.ReplicaOf == "" {
+			return nil, fmt.Errorf("%w: ReplicaTenants requires ReplicaOf", errBadConfig)
+		}
+		if cfg.Mode != ModeByte {
+			return nil, fmt.Errorf("%w: tenant-filtered replication requires byte mode", errBadConfig)
+		}
+		names := append([]string(nil), cfg.ReplicaTenants...)
+		sort.Strings(names)
+		dedup := names[:0]
+		for i, name := range names {
+			if _, ok := parseTenantName([]byte(name)); !ok {
+				return nil, fmt.Errorf("%w: bad tenant name %q", errBadConfig, name)
+			}
+			if i > 0 && name == names[i-1] {
+				continue
+			}
+			dedup = append(dedup, name)
+		}
+		cfg.ReplicaTenants = dedup
+	}
 	cfg.tenants = newTenantRegistry()
 	s := &Server{
 		cfg:     cfg,
@@ -340,6 +406,13 @@ func New(cfg Config) (*Server, error) {
 		t, _ := s.tenants.ensure(name)
 		t.reserve.Store(res)
 		s.journalTenant(t)
+	}
+	// Quotas are deployment config, never journaled: attach them to the
+	// registry entries so every connection's resolved *tenant carries its
+	// limits and the hot path pays one nil check.
+	for name, q := range cfg.TenantQuotas {
+		t, _ := s.tenants.ensure(name)
+		t.quota = newTenantQuota(q)
 	}
 	if cfg.ReplicaOf != "" {
 		s.readOnly.Store(true)
@@ -858,6 +931,11 @@ func (s *Server) handleGet(keys [][]byte, cs *connState) error {
 	cs.shardIdx = shardIndex(cs.nsKeyFor(keys[0]), len(s.shards))
 	hits := cs.hits[:0]
 	now := time.Now()
+	if tq := tn.quota; tq != nil && tq.shedReads && !tq.allowOp(now.UnixNano()) {
+		tn.quotaShed.Add(1)
+		_, err := w.Write(replyOverQuota)
+		return err
+	}
 	for _, k := range keys {
 		if bytes.IndexByte(k, 0) >= 0 {
 			s.counters.getMisses.Add(1)
@@ -1000,13 +1078,18 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 		return errCloseConn
 	}
 
-	// The payload is consumed (stream aligned) before the replica gate, so a
-	// rejected write never desynchronizes the connection.
+	// The payload is consumed (stream aligned) before the replica gate and
+	// the quota gate, so a rejected or shed write never desynchronizes the
+	// connection.
 	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
 
 	now := time.Now()
+	tn := s.tenantOf(cs)
+	if shed, err := s.shedOp(cs, tn, now, nbytes, noreply); shed || err != nil {
+		return err
+	}
 	s.counters.storeCounter(cmd).Add(1)
 	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
@@ -1014,6 +1097,7 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 	reply := sh.storeLocked(cmd, key, value, flags, ttl, cost, now)
 	sh.mu.Unlock()
 	sh.lockHist.Observe(time.Since(lockStart))
+	tn.quota.releaseBytes(nbytes)
 
 	if noreply {
 		return nil
@@ -1120,9 +1204,8 @@ func (s *Server) handleArith(incr bool, args [][]byte, cs *connState) error {
 		_, err := w.Write(replyBadDelta)
 		return err
 	}
-	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
-		return err
-	}
+	// Key validity before the replica gate, matching handleStore's ordering:
+	// a malformed key is a client error on any role.
 	if bytes.IndexByte(args[0], 0) >= 0 {
 		if noreply {
 			return nil
@@ -1130,8 +1213,14 @@ func (s *Server) handleArith(incr bool, args [][]byte, cs *connState) error {
 		_, err := w.Write(replyBadKey)
 		return err
 	}
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
+		return err
+	}
 	key := string(cs.nsKeyFor(args[0]))
 	now := time.Now()
+	if shed, err := s.shedOp(cs, s.tenantOf(cs), now, 0, noreply); shed || err != nil {
+		return err
+	}
 	if incr {
 		s.counters.cmdIncr.Add(1)
 	} else {
@@ -1192,9 +1281,16 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 	}
 	key := string(cs.nsKeyFor(args[0]))
 	now := time.Now()
+	if shed, err := s.shedOp(cs, s.tenantOf(cs), now, 0, noreply); shed || err != nil {
+		return err
+	}
 	s.counters.cmdTouch.Add(1)
 	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()
+	lockStart := time.Now()
+	// The incremental expiry sweep every mutating path pays, so a
+	// touch-heavy workload reclaims dead items too.
+	sh.store.sweepExpired(now, expirySweepProbes)
 	it, found := sh.store.get(key, now)
 	if found {
 		it.expiresAt = expiryFrom(ttl, now)
@@ -1205,6 +1301,7 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 		})
 	}
 	sh.mu.Unlock()
+	sh.lockHist.Observe(time.Since(lockStart))
 	if noreply {
 		return nil
 	}
@@ -1241,6 +1338,9 @@ func (s *Server) handleDelete(args [][]byte, cs *connState) error {
 		return err
 	}
 	key := string(cs.nsKeyFor(args[0]))
+	if shed, err := s.shedOp(cs, s.tenantOf(cs), time.Now(), 0, noreply); shed || err != nil {
+		return err
+	}
 	s.counters.cmdDelete.Add(1)
 	sh := s.shardForOp(key, cs)
 	sh.mu.Lock()

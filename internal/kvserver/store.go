@@ -185,12 +185,24 @@ func (st *store) ensureTenant(name string) *tenantState {
 	return ts
 }
 
+// multiTenant reports whether namespaced keys must be routed to per-tenant
+// policies. It is driven by the server-wide registry, not this store's tens
+// table: tens is a per-shard cache that flush() rebuilds, and routing off it
+// was the flush_all escape — after `*st = *fresh` zeroed tens, every
+// namespaced key silently landed in the default policy until restart,
+// bypassing reserves, arbitration and per-tenant stats.
+func (st *store) multiTenant() bool {
+	reg := st.cfg.tenants
+	return reg != nil && reg.multi.Load() && st.slab == nil && st.buddy == nil
+}
+
 // policyFor routes a stored key to the policy that owns it: the tenant named
 // by the key's NUL-delimited prefix, or the default policy for bare keys.
-// With no tenant states — the single-tenant fast path — the byte scan is
-// skipped entirely: no namespaced key can be resident then.
+// With no non-default tenant registered anywhere — the single-tenant fast
+// path — the byte scan is skipped entirely: no namespaced key can be
+// resident then.
 func (st *store) policyFor(key string) cache.Policy {
-	if len(st.tens) == 0 {
+	if !st.multiTenant() {
 		return st.policy
 	}
 	if i := strings.IndexByte(key, 0); i >= 0 {
@@ -460,7 +472,7 @@ func (st *store) setAbsPrio(key string, value []byte, flags uint32, expires time
 // admits the entry.
 func (st *store) policySet(key string, size, cost int64, prio, class uint64, hasPrio bool) bool {
 	p := st.policy
-	if len(st.tens) != 0 {
+	if st.multiTenant() {
 		p = st.policyFor(key)
 		p.Delete(key)
 		if !st.makeRoom(p, size) {
@@ -655,6 +667,17 @@ func (st *store) flush() {
 	*st = *fresh
 	st.evicted, st.expiredReclaimed = evicted, reclaimed
 	st.evictedBase, st.rejectedBase = evictedBase, rejectedBase
+	// Rebuild the per-tenant policy states eagerly from the registry, which
+	// survives the flush: connections still hold their *tenant, and the next
+	// namespaced write must land in its tenant's (fresh) policy — with
+	// reserves and arbitration intact — not escape into the default one.
+	if reg := st.cfg.tenants; reg != nil && st.slab == nil && st.buddy == nil {
+		for _, t := range reg.list() {
+			if t.name != defaultTenantName {
+				st.ensureTenant(t.name)
+			}
+		}
+	}
 }
 
 func (st *store) len() int { return len(st.items) }
@@ -848,6 +871,32 @@ func (st *store) collectOps() []persist.Op {
 		}
 	}
 	return ops
+}
+
+// collectOpsFiltered is collectOps restricted to a tenant subset, the shape a
+// tenant-filtered FULLSYNC bootstrap ships: the subset's entries and
+// KindTenant records, plus every KindScale record — the adaptive scale only
+// ever widens, so installing the source's scale in all of the follower's
+// policies is safe (mirroring restore's KindScale handling) and keeps the
+// filter stateless. names must be sorted/deduped (Config validation does).
+func (st *store) collectOpsFiltered(names []string) []persist.Op {
+	ops := st.collectOps()
+	out := ops[:0]
+	for _, op := range ops {
+		switch op.Kind {
+		case persist.KindTenant:
+			if tenantInSubset(names, op.Key) {
+				out = append(out, op)
+			}
+		case persist.KindScale:
+			out = append(out, op)
+		default:
+			if keyInAnyTenant(names, op.Key) {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
 }
 
 // emitOps writes the ops collected by collectOps, the shape

@@ -63,6 +63,13 @@ type tenant struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	costSaved atomic.Uint64
+
+	// quota is the optional shed-on-exceed request limit (Config.TenantQuotas
+	// / campsrv -tenant-quota). Set once at construction, nil for unlimited
+	// tenants, so the hot path pays one nil check. quotaShed counts requests
+	// answered "SERVER_ERROR tenant over quota".
+	quota     *tenantQuota
+	quotaShed atomic.Uint64
 }
 
 // tenantRegistry is the server-wide tenant table. The default tenant always
@@ -70,6 +77,11 @@ type tenant struct {
 // journal replay) and live for the server's lifetime.
 type tenantRegistry struct {
 	def *tenant
+
+	// multi is set the first time a non-default tenant is created and never
+	// cleared: per-shard stores route keys through it rather than their own
+	// (rebuildable, flush-zeroed) tenant tables — see store.multiTenant.
+	multi atomic.Bool
 
 	mu     sync.RWMutex
 	byName map[string]*tenant
@@ -102,6 +114,7 @@ func (r *tenantRegistry) ensure(name string) (t *tenant, created bool) {
 	}
 	t = &tenant{name: name, prefix: name + "\x00"}
 	r.byName[name] = t
+	r.multi.Store(true)
 	return t, true
 }
 
@@ -165,6 +178,28 @@ func keyInTenant(name, key string) bool {
 		return strings.IndexByte(key, 0) < 0
 	}
 	return len(key) > len(name) && key[len(name)] == 0 && key[:len(name)] == name
+}
+
+// tenantInSubset reports whether name is one of the subset names (a small
+// sorted slice; linear scan beats a map at replication-filter sizes).
+func tenantInSubset(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// keyInAnyTenant reports whether a stored (namespaced) key belongs to any
+// tenant in the subset.
+func keyInAnyTenant(names []string, key string) bool {
+	for _, n := range names {
+		if keyInTenant(n, key) {
+			return true
+		}
+	}
+	return false
 }
 
 // tenantTotals is the cross-shard aggregate handleStatsTenants and the
@@ -288,6 +323,7 @@ func (s *Server) handleStatsTenants(cs *connState) error {
 		stat(t, "misses", int64(t.misses.Load()))
 		stat(t, "cost_saved", int64(t.costSaved.Load()))
 		stat(t, "evictions", int64(tt.evictions[t.name]))
+		stat(t, "quota_shed", int64(t.quotaShed.Load()))
 	}
 	out = append(out, replyEnd...)
 	cs.out = out

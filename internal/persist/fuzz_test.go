@@ -94,6 +94,9 @@ func FuzzStreamFrames(f *testing.F) {
 	f.Add([]byte{FrameRecord, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // huge record length
 	f.Add([]byte{'Z'})                                             // unknown kind
 	f.Add([]byte{FramePing, FramePing, FramePing})
+	f.Add([]byte{FrameSkip, 0, 0, 0, 0, 0, 0, 0, 0})    // zero-byte skip
+	f.Add([]byte{FrameSkip, 42, 0, 0, 0, 0, 0, 0, 0})   // valid skip of 42
+	f.Add([]byte{FrameSkip, 0, 0, 0, 0, 0, 0, 0, 0x80}) // negative skip
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sr := NewStreamReader(bufio.NewReader(bytes.NewReader(data)))
@@ -111,6 +114,10 @@ func FuzzStreamFrames(f *testing.F) {
 			case FrameGen:
 				if frame.Gen == 0 {
 					t.Fatal("decoder accepted a generation-switch to 0")
+				}
+			case FrameSkip:
+				if frame.Bytes <= 0 {
+					t.Fatalf("decoder accepted non-positive skip delta %d", frame.Bytes)
 				}
 			case FrameRecord:
 				op := frame.Op
