@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy]
+//	campsrv -addr 127.0.0.1:11211 -mem 64MiB -policy camp [-mode byte|slab|buddy|arena]
 //	        [-shards N] [-precision 5] [-no-iq]
 //	        [-replica-of host:port [-replica-tenants a,b]]
 //	        [-tenant-reserve name=bytes ...] [-tenant-quota name=ops[:bytes] ...]
@@ -57,7 +57,7 @@ func run() error {
 		mem       = flag.String("mem", "64MiB", "cache memory (e.g. 512KiB, 64MiB, 2GiB)")
 		shards    = flag.Int("shards", 0, "independent stores keys are hashed across, with per-shard locks and journals (0 = auto: GOMAXPROCS, capped so each shard keeps a useful capacity)")
 		policy    = flag.String("policy", "camp", "eviction policy: camp, lru or gds")
-		mode      = flag.String("mode", "byte", "memory management: byte, slab or buddy")
+		mode      = flag.String("mode", "byte", "memory management: byte, slab, buddy or arena (packed per-shard segments with incremental compaction)")
 		precision = flag.Uint("precision", 5, "CAMP rounding precision (0 = infinite)")
 		noIQ      = flag.Bool("no-iq", false, "disable IQ miss-to-set cost derivation")
 
@@ -72,7 +72,7 @@ func run() error {
 		reserves = tenantReserves{}
 		quotas   = tenantQuotas{}
 
-		replicaTenants = flag.String("replica-tenants", "", "comma-separated tenant subset to replicate (requires -replica-of, byte mode); the primary filters the feed to these tenants' keys")
+		replicaTenants = flag.String("replica-tenants", "", "comma-separated tenant subset to replicate (requires -replica-of, byte or arena mode); the primary filters the feed to these tenants' keys")
 
 		dataDir  = flag.String("data-dir", "", "persistence directory (empty = volatile cache)")
 		aof      = flag.Bool("aof", true, "journal mutations to an append-only log (requires -data-dir)")
@@ -80,8 +80,8 @@ func run() error {
 		snapshot = flag.Duration("snapshot-interval", 0, "background snapshot period (0 = size-triggered only)")
 		aofLimit = flag.String("aof-limit", "", "AOF size triggering compaction (default 64MiB)")
 	)
-	flag.Var(&reserves, "tenant-reserve", "reserve memory for a tenant as name=bytes (e.g. -tenant-reserve gold=16MiB); repeatable, byte mode only")
-	flag.Var(&quotas, "tenant-quota", "request quota for a tenant as name=ops[:bytes] (ops/sec shed limit, optional in-flight mutation bytes, e.g. -tenant-quota bronze=500:1MiB); repeatable, byte mode only")
+	flag.Var(&reserves, "tenant-reserve", "reserve memory for a tenant as name=bytes (e.g. -tenant-reserve gold=16MiB); repeatable, byte or arena mode only")
+	flag.Var(&quotas, "tenant-quota", "request quota for a tenant as name=ops[:bytes] (ops/sec shed limit, optional in-flight mutation bytes, e.g. -tenant-quota bronze=500:1MiB); repeatable, byte or arena mode only")
 	flag.Parse()
 
 	bytes, err := parseSize(*mem)

@@ -87,6 +87,14 @@ type ShardStats struct {
 	JournalGen   uint64
 	JournalBytes int64
 	Compactions  uint64
+	// The arena fields mirror the packed-segment engine and are only
+	// emitted by servers running -mode arena (zero otherwise).
+	ArenaLiveBytes      int64
+	ArenaDeadBytes      int64
+	ArenaHeldBytes      int64
+	ArenaSegments       int64
+	ArenaCompactions    uint64
+	ArenaRelocatedBytes uint64
 }
 
 // StatsShards fetches per-shard stats, indexed by shard.
@@ -123,6 +131,13 @@ func (c *Client) StatsShards() ([]ShardStats, error) {
 			JournalGen:       u("journal_gen"),
 			JournalBytes:     si("journal_bytes"),
 			Compactions:      u("compactions"),
+
+			ArenaLiveBytes:      si("arena_live_bytes"),
+			ArenaDeadBytes:      si("arena_dead_bytes"),
+			ArenaHeldBytes:      si("arena_held_bytes"),
+			ArenaSegments:       si("arena_segments"),
+			ArenaCompactions:    u("arena_compactions"),
+			ArenaRelocatedBytes: u("arena_relocated_bytes"),
 		})
 	}
 }

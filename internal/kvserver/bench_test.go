@@ -27,9 +27,105 @@ import (
 func BenchmarkServerOps(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchServerOps(b, shards)
+			benchServerOps(b, shards, ModeByte)
 		})
 	}
+}
+
+// BenchmarkServerOpsArena is the same workload against the packed-arena
+// engine. The interesting metric is allocs/op: the arena copies set payloads
+// into pooled scratch and packed segments instead of retaining per-item
+// slices, so the steady state drops from byte mode's ~20 allocs per 20-op
+// batch to the policy-node floor. `make alloc-gate` enforces the arena
+// budget separately (ARENA_ALLOCS_BUDGET).
+func BenchmarkServerOpsArena(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchServerOps(b, shards, ModeArena)
+		})
+	}
+}
+
+// BenchmarkEvictionManyTenants hammers a deliberately undersized server with
+// sets from many tenants at once, so every batch runs the cross-tenant
+// arbiter under eviction pressure. Before the batched arbiter this walked
+// every tenant per victim and re-summed per-tenant usage per freed byte —
+// O(tenants × victims) policy walks per set; now one walk picks a victim run.
+// The ops/s here is dominated by that arbitration cost.
+func BenchmarkEvictionManyTenants(b *testing.B) {
+	for _, tenants := range []int{4, 64} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			benchEvictionTenants(b, tenants)
+		})
+	}
+}
+
+func benchEvictionTenants(b *testing.B, tenants int) {
+	s, err := New(Config{
+		MemoryBytes: 4 << 20, // far below the working set: every set evicts
+		Shards:      1,
+		Policy:      "camp",
+		DisableIQ:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	value := make([]byte, 4096)
+	// Warm every tenant past its share so the arbiter has a full table to
+	// walk from the first measured op.
+	for t := 0; t < tenants; t++ {
+		warm, err := kvclient.DialWithTenant(s.Addr(), fmt.Sprintf("t%03d", t))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2048/tenants+16; i++ {
+			if err := warm.SetNoreply(benchKeySet[i], value, 0, 0, int64(1+i%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := warm.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := warm.Version(); err != nil {
+			b.Fatal(err)
+		}
+		warm.Close()
+	}
+
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var seed atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		n := seed.Add(1)
+		c, err := kvclient.DialWithTenant(s.Addr(), fmt.Sprintf("t%03d", n%int64(tenants)))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(n))
+		for pb.Next() {
+			for i := 0; i < benchBatchSets; i++ {
+				if err := c.SetNoreply(benchKeySet[rng.Intn(benchKeys)], value, 0, 0, int64(1+rng.Intn(100))); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(benchBatchSets)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.StopTimer()
+	b.ReportMetric(float64(totalEvictions(s)), "evictions")
 }
 
 // BenchmarkServerOpsTenants is the two-tenant variant: half the clients run
@@ -263,11 +359,12 @@ var benchKeySet = func() []string {
 	return keys
 }()
 
-func benchServerOps(b *testing.B, shards int) {
+func benchServerOps(b *testing.B, shards int, mode string) {
 	s, err := New(Config{
 		MemoryBytes: 256 << 20,
 		Shards:      shards,
 		Policy:      "camp",
+		Mode:        mode,
 		DisableIQ:   true,
 	})
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"camp/internal/alloc"
 	"camp/internal/metrics"
 	"camp/internal/persist"
 	"camp/internal/proto"
@@ -141,6 +142,7 @@ func (s *Server) handleStatsShards(cs *connState) error {
 		rejected := sh.store.rejected()
 		reclaimed := sh.store.reclaimed()
 		missTable := len(sh.missedAt)
+		as := sh.store.arenaStats()
 		sh.mu.Unlock()
 		lat := sh.latHist.Snapshot()
 		lock := sh.lockHist.Snapshot()
@@ -155,6 +157,14 @@ func (s *Server) handleStatsShards(cs *connState) error {
 		out = appendStat(out, prefix+"p99_us", uint64(lat.Quantile(0.99).Microseconds()))
 		out = appendStat(out, prefix+"lock_holds", lock.Count)
 		out = appendStat(out, prefix+"lock_p99_us", uint64(lock.Quantile(0.99).Microseconds()))
+		if s.arenaMode {
+			out = appendStatInt(out, prefix+"arena_live_bytes", as.LiveBytes)
+			out = appendStatInt(out, prefix+"arena_dead_bytes", as.DeadBytes)
+			out = appendStatInt(out, prefix+"arena_held_bytes", as.HeldBytes)
+			out = appendStatInt(out, prefix+"arena_segments", int64(as.Segments))
+			out = appendStat(out, prefix+"arena_compactions", as.Compactions)
+			out = appendStat(out, prefix+"arena_relocated_bytes", as.RelocatedBytes)
+		}
 		if sh.mgr != nil {
 			info := sh.mgr.Info()
 			out = appendStat(out, prefix+"journal_gen", info.Generation)
@@ -341,6 +351,34 @@ func (s *Server) buildRegistry() {
 		func(sh *shard) float64 { return float64(sh.store.reclaimed()) })
 	shardGauge("camp_shard_iq_miss_table", "Pending IQ miss-table entries per shard.", metrics.TypeGauge,
 		func(sh *shard) float64 { return float64(len(sh.missedAt)) })
+
+	// Packed-arena families, registered unconditionally (the stable-family-set
+	// convention); they carry samples only in arena mode.
+	arenaGauge := func(name, help, typ string, get func(as alloc.ArenaStats) float64) {
+		r.Register(name, help, typ, func(tw *metrics.TextWriter) {
+			if !s.arenaMode {
+				return
+			}
+			for i, sh := range s.shards {
+				sh.mu.Lock()
+				v := get(sh.store.arenaStats())
+				sh.mu.Unlock()
+				tw.Sample("", v, "shard", labels[i])
+			}
+		})
+	}
+	arenaGauge("camp_shard_arena_live_bytes", "Live packed-record bytes per shard arena.", metrics.TypeGauge,
+		func(as alloc.ArenaStats) float64 { return float64(as.LiveBytes) })
+	arenaGauge("camp_shard_arena_dead_bytes", "Dead (overwritten or deleted) record bytes awaiting compaction per shard arena.", metrics.TypeGauge,
+		func(as alloc.ArenaStats) float64 { return float64(as.DeadBytes) })
+	arenaGauge("camp_shard_arena_held_bytes", "Segment bytes held from the budget per shard arena.", metrics.TypeGauge,
+		func(as alloc.ArenaStats) float64 { return float64(as.HeldBytes) })
+	arenaGauge("camp_shard_arena_segments", "Segments held per shard arena.", metrics.TypeGauge,
+		func(as alloc.ArenaStats) float64 { return float64(as.Segments) })
+	arenaGauge("camp_shard_arena_compactions_total", "Segments fully compacted and recycled per shard arena.", metrics.TypeCounter,
+		func(as alloc.ArenaStats) float64 { return float64(as.Compactions) })
+	arenaGauge("camp_shard_arena_relocated_bytes_total", "Live record bytes relocated by the compactor per shard arena.", metrics.TypeCounter,
+		func(as alloc.ArenaStats) float64 { return float64(as.RelocatedBytes) })
 
 	journalGauge := func(name, help, typ string, get func(info persist.Info) float64) {
 		r.Register(name, help, typ, func(tw *metrics.TextWriter) {

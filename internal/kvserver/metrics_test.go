@@ -37,6 +37,12 @@ var requiredFamilies = []string{
 	"camp_shard_rejected_sets_total",
 	"camp_shard_expired_reclaimed_total",
 	"camp_shard_iq_miss_table",
+	"camp_shard_arena_live_bytes",
+	"camp_shard_arena_dead_bytes",
+	"camp_shard_arena_held_bytes",
+	"camp_shard_arena_segments",
+	"camp_shard_arena_compactions_total",
+	"camp_shard_arena_relocated_bytes_total",
 	"camp_shard_journal_generation",
 	"camp_shard_journal_bytes",
 	"camp_shard_compactions_total",

@@ -35,6 +35,14 @@ type connState struct {
 	hits   []*item
 	out    []byte
 
+	// keyBuf holds a storage command's namespaced key across the payload
+	// read (which invalidates the tokens); valBuf is the arena-mode payload
+	// scratch — the arena copies the bytes into its segment under the shard
+	// lock, so neither buffer outlives its command. Both are reused across
+	// commands, keeping the set path allocation-free.
+	keyBuf []byte
+	valBuf []byte
+
 	// Instrumentation scratch dispatch fills per command: the shard the
 	// command routed to (-1 when none) so its latency histogram can be
 	// charged after the handler returns, and a copy of the key token —
@@ -114,6 +122,14 @@ func putConnState(cs *connState) {
 	if cap(cs.out) > maxPooledScratch {
 		cs.out = make([]byte, 0, 512)
 	}
+	if cap(cs.keyBuf) > maxPooledScratch {
+		cs.keyBuf = nil
+	}
+	cs.keyBuf = cs.keyBuf[:0]
+	if cap(cs.valBuf) > maxPooledScratch {
+		cs.valBuf = nil
+	}
+	cs.valBuf = cs.valBuf[:0]
 	cs.tenant = nil
 	cs.replTenants = nil
 	if cap(cs.nsKey) > maxPooledScratch {

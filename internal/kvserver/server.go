@@ -24,7 +24,11 @@
 // Memory management is pluggable per §5: "byte" charges exact sizes to the
 // eviction policy; "slab" reproduces Twemcache's slab classes with per-class
 // LRU and random slab eviction; "buddy" rounds sizes to power-of-two blocks
-// in a buddy arena with the configured policy choosing victims.
+// in a buddy arena with the configured policy choosing victims; "arena"
+// packs keys and values into log-structured per-shard segments reclaimed by
+// incremental compaction (Memshare-style), driven by the same policies —
+// its set path reuses pooled scratch end to end, so steady-state overwrites
+// make no per-item heap allocations at all.
 //
 // The server is sharded for vertical scaling, the §4.1 recipe: keys hash
 // across Config.Shards independent shards, each owning its own store,
@@ -71,6 +75,9 @@ const (
 	ModeByte  = "byte"
 	ModeSlab  = "slab"
 	ModeBuddy = "buddy"
+	// ModeArena packs records into per-shard log-structured segments with
+	// incremental compaction; see internal/alloc/arena.go.
+	ModeArena = "arena"
 )
 
 // MaxShards bounds Config.Shards.
@@ -104,6 +111,9 @@ type Config struct {
 	SlabSize int64
 	// MinBlock overrides the buddy minimum block (default 64).
 	MinBlock int64
+	// ArenaSegment overrides the arena segment size in arena mode (default:
+	// one eighth of the per-shard capacity, clamped to [4 KiB, 1 MiB]).
+	ArenaSegment int64
 	// ItemOverhead is charged per item on top of key+value bytes
 	// (default 56, approximating Twemcache's item header).
 	ItemOverhead int64
@@ -229,6 +239,10 @@ type Server struct {
 	// tenant always exists.
 	tenants *tenantRegistry
 
+	// arenaMode caches cfg.Mode == ModeArena for the hot-path branches that
+	// must route reads/writes through the packed arena.
+	arenaMode bool
+
 	// Instrumentation: per-verb histograms, slowlog and the Prometheus
 	// registry (metrics.go); started anchors the uptime stat; metricsLn and
 	// metricsSrv are the optional -metrics-addr HTTP endpoint (http.go).
@@ -296,8 +310,8 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxValueBytes = 8 << 20
 	}
 	if len(cfg.TenantReserves) > 0 {
-		if cfg.Mode != ModeByte {
-			return nil, fmt.Errorf("%w: tenant reserves require byte mode", errBadConfig)
+		if cfg.Mode != ModeByte && cfg.Mode != ModeArena {
+			return nil, fmt.Errorf("%w: tenant reserves require byte or arena mode", errBadConfig)
 		}
 		var sum int64
 		for name, res := range cfg.TenantReserves {
@@ -314,8 +328,8 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if len(cfg.TenantQuotas) > 0 {
-		if cfg.Mode != ModeByte {
-			return nil, fmt.Errorf("%w: tenant quotas require byte mode", errBadConfig)
+		if cfg.Mode != ModeByte && cfg.Mode != ModeArena {
+			return nil, fmt.Errorf("%w: tenant quotas require byte or arena mode", errBadConfig)
 		}
 		for name, q := range cfg.TenantQuotas {
 			if _, ok := parseTenantName([]byte(name)); !ok {
@@ -330,8 +344,8 @@ func New(cfg Config) (*Server, error) {
 		if cfg.ReplicaOf == "" {
 			return nil, fmt.Errorf("%w: ReplicaTenants requires ReplicaOf", errBadConfig)
 		}
-		if cfg.Mode != ModeByte {
-			return nil, fmt.Errorf("%w: tenant-filtered replication requires byte mode", errBadConfig)
+		if cfg.Mode != ModeByte && cfg.Mode != ModeArena {
+			return nil, fmt.Errorf("%w: tenant-filtered replication requires byte or arena mode", errBadConfig)
 		}
 		names := append([]string(nil), cfg.ReplicaTenants...)
 		sort.Strings(names)
@@ -349,11 +363,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.tenants = newTenantRegistry()
 	s := &Server{
-		cfg:     cfg,
-		tenants: cfg.tenants,
-		conns:   make(map[net.Conn]struct{}),
-		feeds:   make(map[*feedStat]struct{}),
-		started: time.Now(),
+		cfg:       cfg,
+		tenants:   cfg.tenants,
+		arenaMode: cfg.Mode == ModeArena,
+		conns:     make(map[net.Conn]struct{}),
+		feeds:     make(map[*feedStat]struct{}),
+		started:   time.Now(),
 	}
 	if th := cfg.SlowlogThreshold; th != 0 {
 		s.metrics.slowlog.SetThreshold(th)
@@ -936,6 +951,51 @@ func (s *Server) handleGet(keys [][]byte, cs *connState) error {
 		_, err := w.Write(replyOverQuota)
 		return err
 	}
+	if s.arenaMode {
+		// Arena values are relocated by the compactor, so the references do
+		// NOT survive the shard lock: each hit's whole VALUE block is staged
+		// into the pooled reply scratch while the lock is held.
+		out := cs.out[:0]
+		for _, k := range keys {
+			if bytes.IndexByte(k, 0) >= 0 {
+				s.counters.getMisses.Add(1)
+				tn.misses.Add(1)
+				continue
+			}
+			nk := cs.nsKeyFor(k)
+			sh := s.shardForBytes(nk)
+			sh.mu.Lock()
+			it, ok := sh.store.getBytes(nk, now)
+			if !ok {
+				if !s.cfg.DisableIQ {
+					sh.recordMissLocked(string(nk), now)
+				}
+				sh.mu.Unlock()
+				s.counters.getMisses.Add(1)
+				tn.misses.Add(1)
+				continue
+			}
+			value := sh.store.itemValue(it)
+			out = append(out, "VALUE "...)
+			out = append(out, it.key[pfx:]...)
+			out = append(out, ' ')
+			out = strconv.AppendUint(out, uint64(it.flags), 10)
+			out = append(out, ' ')
+			out = strconv.AppendInt(out, int64(len(value)), 10)
+			out = append(out, '\r', '\n')
+			out = append(out, value...)
+			out = append(out, '\r', '\n')
+			cost := it.cost
+			sh.mu.Unlock()
+			s.counters.getHits.Add(1)
+			tn.hits.Add(1)
+			tn.costSaved.Add(uint64(cost))
+		}
+		out = append(out, replyEnd...)
+		cs.out = out
+		_, err := w.Write(out)
+		return err
+	}
 	for _, k := range keys {
 		if bytes.IndexByte(k, 0) >= 0 {
 			s.counters.getMisses.Add(1)
@@ -1058,10 +1118,26 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 		// A NUL could forge another tenant's namespace prefix.
 		return s.storeError(cs, cmd, nbytes, noreply, "key")
 	}
-	// The tokens alias the read buffer: materialize the (namespaced) key
-	// before the payload read below invalidates them.
-	key := string(cs.nsKeyFor(args[0]))
-	value := make([]byte, nbytes)
+	// The tokens alias the read buffer: copy the (namespaced) key into
+	// pooled scratch before the payload read below invalidates them. No
+	// string is materialized here — storeLocked reuses the resident item's
+	// interned key on overwrite, so only brand-new keys pay the allocation.
+	cs.keyBuf = append(cs.keyBuf[:0], cs.nsKeyFor(args[0])...)
+	var value []byte
+	if s.arenaMode {
+		// The arena copies the payload into its segment under the shard lock
+		// and the journal serializes it before Append returns, so pooled
+		// scratch is safe to reuse for the next command — the zero-alloc half
+		// of the arena set path.
+		if cap(cs.valBuf) < int(nbytes) {
+			cs.valBuf = make([]byte, nbytes)
+		}
+		value = cs.valBuf[:nbytes]
+	} else {
+		// The other layouts retain the slice in the item, so it must be
+		// freshly allocated.
+		value = make([]byte, nbytes)
+	}
 	if _, err := io.ReadFull(cs.r, value); err != nil {
 		return err
 	}
@@ -1091,10 +1167,10 @@ func (s *Server) handleStore(cmd storeCmd, args [][]byte, cs *connState) error {
 		return err
 	}
 	s.counters.storeCounter(cmd).Add(1)
-	sh := s.shardForOp(key, cs)
+	sh := s.shardForOpBytes(cs.keyBuf, cs)
 	sh.mu.Lock()
 	lockStart := time.Now()
-	reply := sh.storeLocked(cmd, key, value, flags, ttl, cost, now)
+	reply := sh.storeLocked(cmd, cs.keyBuf, value, flags, ttl, cost, now)
 	sh.mu.Unlock()
 	sh.lockHist.Observe(time.Since(lockStart))
 	tn.quota.releaseBytes(nbytes)
@@ -1269,14 +1345,17 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 		_, err := w.Write(replyBadExptime)
 		return err
 	}
-	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
-		return err
-	}
+	// Key validity before the replica gate, matching handleStore/handleArith:
+	// a malformed key is a client error on any role. (touch used to gate the
+	// other way around, so a replica leaked its role to a NUL-forged key.)
 	if bytes.IndexByte(args[0], 0) >= 0 {
 		if noreply {
 			return nil
 		}
 		_, err := w.Write(replyBadKey)
+		return err
+	}
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
 	key := string(cs.nsKeyFor(args[0]))
@@ -1293,7 +1372,7 @@ func (s *Server) handleTouch(args [][]byte, cs *connState) error {
 	sh.store.sweepExpired(now, expirySweepProbes)
 	it, found := sh.store.get(key, now)
 	if found {
-		it.expiresAt = expiryFrom(ttl, now)
+		sh.store.touchResident(it, expiryFrom(ttl, now))
 		sh.journalLocked(persist.Op{
 			Kind:    persist.KindTouch,
 			Key:     key,
@@ -1327,14 +1406,17 @@ func (s *Server) handleDelete(args [][]byte, cs *connState) error {
 		_, err := w.Write(replyBadDelete)
 		return err
 	}
-	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
-		return err
-	}
+	// Key validity before the replica gate (same order as handleStore,
+	// handleArith and handleTouch): a malformed key is a client error on any
+	// role.
 	if bytes.IndexByte(args[0], 0) >= 0 {
 		if noreply {
 			return nil
 		}
 		_, err := w.Write(replyBadKey)
+		return err
+	}
+	if rejected, err := s.rejectReadOnly(cs, noreply); rejected || err != nil {
 		return err
 	}
 	key := string(cs.nsKeyFor(args[0]))

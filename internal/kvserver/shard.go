@@ -173,6 +173,13 @@ func (s *Server) shardForOp(key string, cs *connState) *shard {
 	return s.shards[i]
 }
 
+// shardForOpBytes is shardForOp for a key still in wire []byte form.
+func (s *Server) shardForOpBytes(key []byte, cs *connState) *shard {
+	i := shardIndex(key, len(s.shards))
+	cs.shardIdx = i
+	return s.shards[i]
+}
+
 func (s *Server) shardForBytes(key []byte) *shard {
 	return s.shards[shardIndex(key, len(s.shards))]
 }
@@ -225,10 +232,18 @@ func (sh *shard) costOfLocked(key string) int64 {
 const expirySweepProbes = 4
 
 // storeLocked applies one storage command and returns the protocol reply.
-// The caller holds sh.mu.
-func (sh *shard) storeLocked(cmd storeCmd, key string, value []byte, flags uint32, ttl, cost int64, now time.Time) []byte {
+// The key arrives in wire []byte form: the item-map lookup converts in place
+// (allocation-free), an overwrite reuses the resident item's interned key
+// string, and only a brand-new key materializes one. The caller holds sh.mu.
+func (sh *shard) storeLocked(cmd storeCmd, keyBytes []byte, value []byte, flags uint32, ttl, cost int64, now time.Time) []byte {
 	sh.store.sweepExpired(now, expirySweepProbes)
-	existing, exists := sh.store.items[key]
+	existing, exists := sh.store.items[string(keyBytes)]
+	var key string
+	if exists {
+		key = existing.key
+	} else {
+		key = string(keyBytes)
+	}
 	if exists && !existing.expiresAt.IsZero() && now.After(existing.expiresAt) {
 		sh.store.delete(key)
 		sh.store.expiredReclaimed++
@@ -248,11 +263,13 @@ func (sh *shard) storeLocked(cmd storeCmd, key string, value []byte, flags uint3
 			return replyNotStored
 		}
 		// Concatenation keeps the existing flags and cost; the payload
-		// just grows.
+		// just grows. itemValue resolves the arena record when one backs
+		// the item; the fresh slice is built while the lock pins it.
+		old := sh.store.itemValue(existing)
 		if cmd == cmdAppend {
-			value = append(append(make([]byte, 0, len(existing.value)+len(value)), existing.value...), value...)
+			value = append(append(make([]byte, 0, len(old)+len(value)), old...), value...)
 		} else {
-			value = append(append(make([]byte, 0, len(existing.value)+len(value)), value...), existing.value...)
+			value = append(append(make([]byte, 0, len(old)+len(value)), value...), old...)
 		}
 		flags = existing.flags
 		// The handler's size gate saw only the delta; the combined value
@@ -309,7 +326,7 @@ func (sh *shard) arithLocked(incr bool, key string, delta uint64, now time.Time)
 	if !ok {
 		return 0, replyNotFound
 	}
-	cur, perr := strconv.ParseUint(string(it.value), 10, 64)
+	cur, perr := strconv.ParseUint(string(sh.store.itemValue(it)), 10, 64)
 	if perr != nil {
 		return 0, replyNonNumeric
 	}

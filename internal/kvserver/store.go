@@ -20,6 +20,9 @@ import (
 // allocation-free) and every downstream consumer — policy bump, VALUE reply
 // — reuses this stored string. value and key are never mutated in place, so
 // handlers may reference them after the shard lock drops.
+// In arena mode value is nil and aref locates the packed record instead;
+// arena values ARE relocated by compaction, so arena-mode readers must copy
+// what they need before the shard lock drops (see store.itemValue).
 type item struct {
 	key       string
 	value     []byte
@@ -27,23 +30,34 @@ type item struct {
 	expiresAt time.Time // zero means no expiry
 	handle    alloc.Handle
 	buddyOff  int64
+	aref      alloc.Ref
 	// cost is the admission cost the policy charged for this entry, kept
 	// here so per-tenant cost-saved accounting on the get path needs no
 	// policy lookup.
 	cost int64
 }
 
-// store manages items under one of the three §5 memory-management schemes.
+// store manages items under one of the four memory-management schemes (the
+// paper's §5 malloc/slab/buddy trio plus the Memshare-style packed arena).
 type store struct {
 	cfg   Config
 	items map[string]*item
 
-	// byte and buddy modes. policy is the default tenant's; byte mode may
-	// additionally carry one policy per non-default tenant in tens, with
-	// the store-level arbiter (makeRoom) enforcing the shared capacity.
+	// byte, buddy and arena modes. policy is the default tenant's; byte and
+	// arena modes may additionally carry one policy per non-default tenant
+	// in tens, with the store-level arbiter (makeRoom) enforcing the shared
+	// capacity.
 	policy  cache.Policy
 	evicter cache.Evicter
 	tens    map[string]*tenantState
+
+	// totalUsed is the running store-resident byte total across the default
+	// policy and every tenant policy — what usedAll() returns. Maintained
+	// incrementally (noteUsage) against per-policy cached figures so the
+	// arbiter's capacity checks are O(1) instead of O(#tenants) per probe.
+	totalUsed int64
+	// defUsed caches the default policy's last observed Used().
+	defUsed int64
 
 	// slab mode (Twemcache layout: per-class LRU ordering).
 	slab     *alloc.SlabAllocator
@@ -51,6 +65,14 @@ type store struct {
 
 	// buddy mode.
 	buddy *alloc.BuddyAllocator
+
+	// arena mode: values live as packed records in per-shard segments; the
+	// items map doubles as the hash→(segment,offset) index through each
+	// item's aref. The pre-bound callbacks keep the incremental compactor's
+	// per-mutation steps allocation-free.
+	arena      *alloc.Arena
+	arenaAlive func(key []byte, ref alloc.Ref) bool
+	arenaMoved func(key []byte, ref alloc.Ref)
 
 	evicted uint64
 	// expiredReclaimed counts items removed because their TTL had passed —
@@ -88,6 +110,31 @@ func newStore(cfg Config) (*store, error) {
 			return nil, err
 		}
 		st.policy = p
+	case ModeArena:
+		a, err := alloc.NewArena(cfg.MemoryBytes, cfg.ArenaSegment)
+		if err != nil {
+			return nil, err
+		}
+		st.arena = a
+		p, err := buildPolicy(cfg, cfg.MemoryBytes)
+		if err != nil {
+			return nil, err
+		}
+		st.policy = p
+		// Bound once so the per-mutation compaction steps never allocate a
+		// closure. After flush() copies a fresh store over this one, the
+		// captured pointer's items map and arena still alias the live
+		// store's (neither field is ever reassigned), so the bindings stay
+		// correct across flushes.
+		st.arenaAlive = func(key []byte, ref alloc.Ref) bool {
+			it, ok := st.items[string(key)]
+			return ok && it.aref == ref
+		}
+		st.arenaMoved = func(key []byte, ref alloc.Ref) {
+			if it, ok := st.items[string(key)]; ok {
+				it.aref = ref
+			}
+		}
 	case ModeSlab:
 		var opts []alloc.SlabOption
 		if cfg.SlabSize > 0 {
@@ -107,8 +154,8 @@ func newStore(cfg Config) (*store, error) {
 	}
 	if st.policy != nil {
 		ev, ok := st.policy.(cache.Evicter)
-		if !ok && cfg.Mode == ModeBuddy {
-			return nil, fmt.Errorf("%w: policy %q cannot drive buddy eviction", errBadConfig, cfg.Policy)
+		if !ok && (cfg.Mode == ModeBuddy || cfg.Mode == ModeArena) {
+			return nil, fmt.Errorf("%w: policy %q cannot drive %s eviction", errBadConfig, cfg.Policy, cfg.Mode)
 		}
 		st.evicter = ev
 		st.policy.SetEvictFunc(st.onPolicyEvict)
@@ -129,8 +176,8 @@ func buildPolicy(cfg Config, capacity int64) (cache.Policy, error) {
 	}
 }
 
-// onPolicyEvict keeps the item map (and buddy arena) in sync with policy
-// evictions.
+// onPolicyEvict keeps the item map (and the buddy or packed arena) in sync
+// with policy evictions.
 func (st *store) onPolicyEvict(e cache.Entry) {
 	it, ok := st.items[e.Key]
 	if !ok {
@@ -138,6 +185,9 @@ func (st *store) onPolicyEvict(e cache.Entry) {
 	}
 	if st.buddy != nil {
 		st.buddy.Free(it.buddyOff)
+	}
+	if st.arena != nil {
+		st.arena.Release(it.aref)
 	}
 	delete(st.items, e.Key)
 	st.evicted++
@@ -155,13 +205,16 @@ type tenantState struct {
 	t       *tenant
 	policy  cache.Policy
 	evicter cache.Evicter
+	// cachedUsed is the policy's last Used() observed by noteUsage, the
+	// delta base for the store's running totalUsed.
+	cachedUsed int64
 }
 
 // ensureTenant creates (or returns) the per-shard policy state for a
-// non-default tenant. Byte mode only: the slab and buddy layouts refuse the
-// tenant verb at the protocol layer, and under them a restored namespaced
-// key is served as a plain key with no isolation. The caller holds the shard
-// mutex.
+// non-default tenant. Byte and arena modes only: the slab and buddy layouts
+// refuse the tenant verb at the protocol layer, and under them a restored
+// namespaced key is served as a plain key with no isolation. The caller
+// holds the shard mutex.
 func (st *store) ensureTenant(name string) *tenantState {
 	if name == defaultTenantName || st.cfg.tenants == nil || st.slab != nil || st.buddy != nil {
 		return nil
@@ -202,15 +255,37 @@ func (st *store) multiTenant() bool {
 // path — the byte scan is skipped entirely: no namespaced key can be
 // resident then.
 func (st *store) policyFor(key string) cache.Policy {
+	p, _ := st.stateFor(key)
+	return p
+}
+
+// stateFor is policyFor plus the owning tenantState (nil for the default
+// tenant), the pair noteUsage needs to keep the running total exact.
+func (st *store) stateFor(key string) (cache.Policy, *tenantState) {
 	if !st.multiTenant() {
-		return st.policy
+		return st.policy, nil
 	}
 	if i := strings.IndexByte(key, 0); i >= 0 {
 		if ts := st.ensureTenant(key[:i]); ts != nil {
-			return ts.policy
+			return ts.policy, ts
 		}
 	}
-	return st.policy
+	return st.policy, nil
+}
+
+// noteUsage re-reads one policy's Used() and folds the delta into the
+// store's running total. It must be called after every mutation of a
+// policy's contents (set, delete, eviction — including evictions the policy
+// performed internally during a Set): the absolute re-read makes the resync
+// self-healing no matter how many entries one call displaced.
+func (st *store) noteUsage(p cache.Policy, ts *tenantState) {
+	cached := &st.defUsed
+	if ts != nil {
+		cached = &ts.cachedUsed
+	}
+	u := p.Used()
+	st.totalUsed += u - *cached
+	*cached = u
 }
 
 // shardReserve is this shard's slice of a tenant's server-wide reserve: an
@@ -228,9 +303,22 @@ func (st *store) shardReserve(total int64) int64 {
 	return per
 }
 
-// usedAll sums resident bytes across the default policy and every tenant
-// policy — the store-wide figure the shared capacity bounds.
+// usedAll is the store-wide resident byte figure the shared capacity bounds.
+// It is the running total noteUsage maintains, so the arbiter's inner loops
+// read it in O(1) instead of re-summing every tenant policy.
 func (st *store) usedAll() int64 {
+	if st.policy == nil {
+		return 0
+	}
+	return st.totalUsed
+}
+
+// usedAllSlow recomputes the resident total from the policies directly; the
+// invariant tests compare it against the running figure.
+func (st *store) usedAllSlow() int64 {
+	if st.policy == nil {
+		return 0
+	}
 	used := st.policy.Used()
 	for _, ts := range st.tens {
 		used += ts.policy.Used()
@@ -239,16 +327,16 @@ func (st *store) usedAll() int64 {
 }
 
 // makeRoom frees shared capacity until an insert of size bytes on behalf of
-// requester fits. Victims are chosen Memshare-style by evictArbitrated, so a
-// false return means the insert must be rejected (nothing evictable without
-// breaking another tenant's reserve).
+// requester fits. Victims are chosen Memshare-style by evictArbitratedBatch,
+// so a false return means the insert must be rejected (nothing evictable
+// without breaking another tenant's reserve).
 func (st *store) makeRoom(requester cache.Policy, size int64) bool {
 	capacity := st.cfg.MemoryBytes
 	if size > capacity {
 		return false
 	}
 	for st.usedAll()+size > capacity {
-		if !st.evictArbitrated(requester) {
+		if !st.evictArbitratedBatch(requester, st.usedAll()+size-capacity) {
 			return false
 		}
 	}
@@ -256,18 +344,37 @@ func (st *store) makeRoom(requester cache.Policy, size int64) bool {
 }
 
 // evictArbitrated evicts one entry from the tenant whose next victim carries
-// the lowest marginal priority (the policy's H − L urgency), considering
-// only tenants holding more than their reserve slice — plus the requester
-// itself, which may always churn its own entries. One tenant's pressure can
-// therefore drain the shared pool but never another tenant's reserve.
+// the lowest marginal priority; see evictArbitratedBatch.
 func (st *store) evictArbitrated(requester cache.Policy) bool {
+	return st.evictArbitratedBatch(requester, 1)
+}
+
+// evictArbitratedBatch frees up to need bytes from the tenant whose next
+// victim carries the lowest marginal priority (the policy's H − L urgency),
+// considering only tenants holding more than their reserve slice — plus the
+// requester itself, which may always churn its own entries. One tenant's
+// pressure can therefore drain the shared pool but never another tenant's
+// reserve.
+//
+// After one walk picks the winner, eviction keeps draining the same policy
+// while it stays eligible, its victims stay strictly cheapest (urgency below
+// every other candidate's — their urgencies cannot change while only the
+// winner is mutated), and bytes are still needed. That amortizes the
+// O(#tenants) walk across a batch of victims: a large insert under many
+// tenants is O(tenants + victims) instead of the old O(tenants × victims).
+// Returns false only when nothing was evictable.
+func (st *store) evictArbitratedBatch(requester cache.Policy, need int64) bool {
 	var (
-		found    bool
-		best     cache.Evicter
-		bestUrg  float64
-		bestOver int64
+		found     bool
+		best      cache.Policy
+		bestTS    *tenantState
+		bestEv    cache.Evicter
+		bestUrg   float64
+		bestOver  int64
+		secondUrg float64
+		hasSecond bool
 	)
-	consider := func(p cache.Policy, ev cache.Evicter, reserveTotal int64) {
+	consider := func(p cache.Policy, ts *tenantState, ev cache.Evicter, reserveTotal int64) {
 		if ev == nil || p.Len() == 0 {
 			return
 		}
@@ -282,22 +389,60 @@ func (st *store) evictArbitrated(requester cache.Policy) bool {
 			}
 		}
 		if !found || urg < bestUrg || (urg == bestUrg && over > bestOver) {
-			found, best, bestUrg, bestOver = true, ev, urg, over
+			if found {
+				secondUrg, hasSecond = bestUrg, true
+			}
+			found, best, bestTS, bestEv, bestUrg, bestOver = true, p, ts, ev, urg, over
+		} else if !hasSecond || urg < secondUrg {
+			secondUrg, hasSecond = urg, true
 		}
 	}
 	var defReserve int64
 	if reg := st.cfg.tenants; reg != nil {
 		defReserve = reg.def.reserve.Load()
 	}
-	consider(st.policy, st.evicter, defReserve)
+	consider(st.policy, nil, st.evicter, defReserve)
 	for _, ts := range st.tens {
-		consider(ts.policy, ts.evicter, ts.t.reserve.Load())
+		consider(ts.policy, ts, ts.evicter, ts.t.reserve.Load())
 	}
 	if !found {
 		return false
 	}
-	_, ok := best.EvictOne()
-	return ok
+	reserve := st.shardReserve(defReserve)
+	if bestTS != nil {
+		reserve = st.shardReserve(bestTS.t.reserve.Load())
+	}
+	evictedAny := false
+	for need > 0 {
+		if _, ok := bestEv.EvictOne(); !ok {
+			break
+		}
+		evictedAny = true
+		before := st.usedAll()
+		st.noteUsage(best, bestTS)
+		need -= before - st.usedAll()
+		if need <= 0 || best.Len() == 0 {
+			break
+		}
+		// Still eligible? The winner may have dropped to (or below) its
+		// reserve; from there only the requester itself may keep churning.
+		if best != requester && best.Used()-reserve <= 0 {
+			break
+		}
+		// Still strictly cheapest? On a tie or crossover, fall back to the
+		// caller's loop for a fresh arbitration walk.
+		if hasSecond {
+			vp, ok := best.(cache.VictimPeeker)
+			if !ok {
+				break
+			}
+			_, urg, ok := vp.PeekVictim()
+			if !ok || urg >= secondUrg {
+				break
+			}
+		}
+	}
+	return evictedAny
 }
 
 // flushTenant removes every entry owned by one tenant, leaving other
@@ -421,9 +566,18 @@ func (st *store) sweepExpired(now time.Time, n int) {
 }
 
 // expiryFrom converts a memcached relative TTL to an absolute deadline.
+// Negative exptime means "already expired" (memcached's invalidation idiom),
+// not "no expiry": mapping it to immortal let `set k 0 -1 3` pin an
+// unexpirable item and made `touch k -1` immortalize instead of invalidate.
+// The deadline lands just behind now, so the entry is born expired and the
+// next access or sweep reclaims it — and since journals and replication
+// carry this deadline (not the TTL), replay reproduces the invalidation.
 func expiryFrom(ttl int64, now time.Time) time.Time {
 	if ttl > 0 {
 		return now.Add(time.Duration(ttl) * time.Second)
+	}
+	if ttl < 0 {
+		return now.Add(-time.Nanosecond)
 	}
 	return time.Time{}
 }
@@ -445,6 +599,9 @@ func (st *store) setAbs(key string, value []byte, flags uint32, expires time.Tim
 // priority state (and the slab layout, whose class LRUs are pure recency)
 // ignore the offset — replay order alone restores them exactly.
 func (st *store) setAbsPrio(key string, value []byte, flags uint32, expires time.Time, cost int64, prio, class uint64, hasPrio bool) bool {
+	if st.arena != nil {
+		return st.setArena(key, value, flags, expires, cost, prio, class, hasPrio)
+	}
 	it := &item{key: key, value: value, flags: flags, expiresAt: expires, cost: cost}
 	size := st.itemSize(key, value)
 	switch {
@@ -469,22 +626,140 @@ func (st *store) setAbsPrio(key string, value []byte, flags uint32, expires time
 // restore them. On the multi-tenant path the old version is dropped first so
 // the arbiter's byte accounting is exact, then makeRoom clears shared
 // capacity before the owning policy (whose own capacity is the whole shard)
-// admits the entry.
+// admits the entry. Every policy mutation is followed by a noteUsage resync
+// so the store's running resident total stays exact.
 func (st *store) policySet(key string, size, cost int64, prio, class uint64, hasPrio bool) bool {
-	p := st.policy
+	p, ts := st.stateFor(key)
 	if st.multiTenant() {
-		p = st.policyFor(key)
 		p.Delete(key)
+		st.noteUsage(p, ts)
 		if !st.makeRoom(p, size) {
 			return false
 		}
 	}
+	ok := false
 	if hasPrio {
-		if po, ok := p.(cache.PriorityOrdered); ok {
-			return po.SetWithPriority(key, size, cost, prio, class)
+		if po, isPrio := p.(cache.PriorityOrdered); isPrio {
+			ok = po.SetWithPriority(key, size, cost, prio, class)
+			st.noteUsage(p, ts)
+			return ok
 		}
 	}
-	return p.Set(key, size, cost)
+	ok = p.Set(key, size, cost)
+	st.noteUsage(p, ts)
+	return ok
+}
+
+// setArena lands the record's bytes in the packed arena, then admits the key
+// through the same policy machinery byte mode uses, so priorities, tenancy
+// and persistence behave identically across the two layouts. An overwrite
+// updates the resident item struct in place — together with the interned key
+// and the arena copy-in, that is what makes the steady-state set path free
+// of per-item heap allocations.
+func (st *store) setArena(key string, value []byte, flags uint32, expires time.Time, cost int64, prio, class uint64, hasPrio bool) bool {
+	size := st.itemSize(key, value)
+	if size > st.cfg.MemoryBytes {
+		return false
+	}
+	p, _ := st.stateFor(key)
+	ref, ok := st.arenaAppend(p, key, value, flags, expires)
+	if !ok {
+		return false
+	}
+	if !st.policySet(key, size, cost, prio, class, hasPrio) {
+		// Mirror the byte-mode contract: a refused admission drops the entry
+		// entirely — the new bytes and whatever old version remained.
+		st.arena.Release(ref)
+		if old, exists := st.items[key]; exists {
+			st.arena.Release(old.aref)
+			delete(st.items, key)
+		}
+		return false
+	}
+	// Re-lookup rather than trusting a pre-append snapshot: the append loop's
+	// compaction/eviction (or the policy's own internal evictions during
+	// admission) may have removed the old version meanwhile.
+	if old, exists := st.items[key]; exists {
+		st.arena.Release(old.aref)
+		old.flags, old.expiresAt, old.cost, old.aref = flags, expires, cost, ref
+	} else {
+		st.items[key] = &item{key: key, flags: flags, expiresAt: expires, cost: cost, aref: ref}
+	}
+	st.arenaMaintain()
+	return true
+}
+
+// arenaAppend copies the record into the arena, clearing space on pressure:
+// compaction first (reclaims dead bytes for free), then Memshare-arbitrated
+// eviction on requester's behalf. The loop terminates — each CompactForce
+// recycles a whole segment or reports false, and each eviction removes one
+// resident entry, so a record that fits the budget eventually lands and one
+// that cannot fit fails once the arena is drained.
+func (st *store) arenaAppend(requester cache.Policy, key string, value []byte, flags uint32, expires time.Time) (alloc.Ref, bool) {
+	expNano := expiryNano(expires)
+	for {
+		ref, err := st.arena.Append(key, value, flags, expNano)
+		if err == nil {
+			return ref, true
+		}
+		if st.arena.CompactForce(st.arenaAlive, st.arenaMoved) {
+			continue
+		}
+		if !st.evictArbitrated(requester) {
+			return alloc.Ref{}, false
+		}
+	}
+}
+
+// expiryNano converts an absolute expiry to the arena record field: unix
+// nanoseconds, zero meaning no expiry.
+func expiryNano(expires time.Time) int64 {
+	if expires.IsZero() {
+		return 0
+	}
+	return expires.UnixNano()
+}
+
+// itemValue returns an item's stored value. The arena-mode slice aliases the
+// packed segment and is invalidated by compaction: consume or copy it before
+// the shard lock drops.
+func (st *store) itemValue(it *item) []byte {
+	if st.arena != nil {
+		return st.arena.Value(it.aref)
+	}
+	return it.value
+}
+
+// touchResident updates an item's expiry everywhere it lives: the item
+// struct and, in arena mode, the packed record itself — so a future
+// mmap-style rebuild from the segments sees the touched deadline.
+func (st *store) touchResident(it *item, expires time.Time) {
+	it.expiresAt = expires
+	if st.arena != nil {
+		st.arena.TouchExpiry(it.aref, expiryNano(expires))
+	}
+}
+
+// arenaCompactStride bounds how many record bytes one mutation's incremental
+// compaction step may scan, amortizing reclamation across operations the way
+// sweepExpired amortizes expiry.
+const arenaCompactStride = 32 << 10
+
+// arenaMaintain runs one bounded compaction step when any segment's
+// dead-byte ratio has crossed the threshold.
+func (st *store) arenaMaintain() {
+	if st.arena != nil && st.arena.NeedsCompaction() {
+		st.arena.CompactStep(arenaCompactStride, st.arenaAlive, st.arenaMoved)
+	}
+}
+
+// arenaStats exposes the packed arena's accounting for stats/metrics; the
+// zero value reports for non-arena layouts.
+func (st *store) arenaStats() alloc.ArenaStats {
+	if st.arena == nil {
+		return alloc.ArenaStats{}
+	}
+	return st.arena.Stats()
 }
 
 // setBuddy places the value in the buddy arena and charges the policy its
@@ -526,6 +801,7 @@ func (st *store) allocBuddy(size int64) (int64, error) {
 		if _, ok := st.evicter.EvictOne(); !ok {
 			return 0, err
 		}
+		st.noteUsage(st.policy, nil)
 	}
 }
 
@@ -594,8 +870,15 @@ func (st *store) delete(key string) bool {
 	case st.buddy != nil:
 		return st.deleteBuddy(key)
 	default:
-		if !st.policyFor(key).Delete(key) {
+		p, ts := st.stateFor(key)
+		if !p.Delete(key) {
 			return false
+		}
+		st.noteUsage(p, ts)
+		if st.arena != nil {
+			if it, ok := st.items[key]; ok {
+				st.arena.Release(it.aref)
+			}
 		}
 		delete(st.items, key)
 		return true
@@ -619,6 +902,7 @@ func (st *store) deleteBuddy(key string) bool {
 		return false
 	}
 	st.policy.Delete(key)
+	st.noteUsage(st.policy, nil)
 	st.buddy.Free(it.buddyOff)
 	delete(st.items, key)
 	return true
@@ -752,7 +1036,7 @@ func (st *store) restore(op persist.Op) error {
 		st.delete(op.Key)
 	case persist.KindTouch:
 		if it, ok := st.items[op.Key]; ok {
-			it.expiresAt = op.ExpiresAt()
+			st.touchResident(it, op.ExpiresAt())
 		}
 	case persist.KindFlush:
 		// Keyless flushes clear the whole store (the only form before
@@ -799,7 +1083,8 @@ func (st *store) restore(op persist.Op) error {
 // shard mutex only for this copy-out; the returned ops alias the stored
 // value slices, which is safe to serialize after unlocking because the
 // server never mutates a stored value in place — every rewrite installs a
-// fresh slice.
+// fresh slice. Arena-mode values are the exception: the compactor DOES move
+// record bytes, so they are copied out here, under the lock.
 func (st *store) collectOps() []persist.Op {
 	ops := make([]persist.Op, 0, len(st.items))
 	add := func(key string, cost int64, prio, class uint64, kind persist.Kind) bool {
@@ -807,13 +1092,17 @@ func (st *store) collectOps() []persist.Op {
 		if !ok {
 			return true
 		}
+		value := it.value
+		if st.arena != nil {
+			value = append([]byte(nil), st.arena.Value(it.aref)...)
+		}
 		ops = append(ops, persist.Op{
 			Kind:     kind,
 			Key:      key,
-			Value:    it.value,
+			Value:    value,
 			Flags:    it.flags,
 			Expires:  persist.ExpiresFrom(it.expiresAt),
-			Size:     st.itemSize(key, it.value),
+			Size:     st.itemSize(key, value),
 			Cost:     cost,
 			Priority: prio,
 			Class:    class,

@@ -42,7 +42,7 @@ const maxTenantNameLen = 64
 // Tenant protocol replies (see shard.go for the rest of the reply table).
 var (
 	replyBadTenant  = []byte("CLIENT_ERROR bad tenant name\r\n")
-	replyTenantMode = []byte("SERVER_ERROR multi-tenancy requires byte mode\r\n")
+	replyTenantMode = []byte("SERVER_ERROR multi-tenancy requires byte or arena mode\r\n")
 	replyBadFlush   = []byte("CLIENT_ERROR bad flush_all command (want flush_all or flush_all all)\r\n")
 	replyBadKey     = []byte("CLIENT_ERROR bad key\r\n")
 )
@@ -256,7 +256,7 @@ func (s *Server) handleTenant(args [][]byte, cs *connState) error {
 		cs.tenant = nil
 		return s.replyTenant(cs, name)
 	}
-	if s.cfg.Mode != ModeByte {
+	if s.cfg.Mode != ModeByte && s.cfg.Mode != ModeArena {
 		// The slab and buddy layouts have no per-tenant policies to
 		// arbitrate between; refuse rather than silently share.
 		_, err := w.Write(replyTenantMode)
